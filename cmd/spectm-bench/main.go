@@ -1,0 +1,72 @@
+// Command spectm-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	spectm-bench -figure all -duration 2s -csv out/
+//	spectm-bench -figure 6 -threads 1,2,4,8
+//	spectm-bench -figure 5
+//
+// Each figure prints the series the paper plots; see EXPERIMENTS.md for
+// the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"spectm/internal/figures"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "figure to regenerate: 1, 5, 6, 7, 8, 9, 10, or all")
+		duration = flag.Duration("duration", time.Second, "measurement time per experiment point")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default 1..2*GOMAXPROCS)")
+		keyrange = flag.Uint64("keyrange", 65536, "integer-set key range")
+		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
+		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
+	)
+	flag.Parse()
+
+	opts := figures.Options{
+		Duration: *duration,
+		KeyRange: *keyrange,
+		CSVDir:   *csvDir,
+		Seed:     *seed,
+	}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "spectm-bench: bad thread count %q\n", part)
+				os.Exit(2)
+			}
+			opts.Threads = append(opts.Threads, n)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "spectm-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	runners := map[string]func(figures.Options) error{
+		"1": figures.Fig1, "5": figures.Fig5, "6": figures.Fig6,
+		"7": figures.Fig7, "8": figures.Fig8, "9": figures.Fig9,
+		"10": figures.Fig10, "all": figures.All,
+	}
+	run, ok := runners[*figure]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "spectm-bench: unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "spectm-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+// dcss: multi-word primitives built from short transactions (§2.2, §5).
+// A tiny payment switch keeps accounts in transactional words; transfers
+// are CAS2 operations, refunds are DCSS operations guarded by an "open"
+// flag, and a 3-way settlement uses KCSS. The invariant — total balance
+// is constant while the switch is open — is checked with read-only short
+// transactions during the run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+
+	"spectm"
+)
+
+func main() {
+	e := spectm.New(spectm.Config{Layout: spectm.LayoutVal})
+	const accounts = 8
+	const initial = 1000
+
+	vars := make([]spectm.Var, accounts)
+	for i := range vars {
+		vars[i] = e.NewVar(spectm.FromUint(initial))
+	}
+	open := e.NewVar(spectm.FromUint(1))
+
+	var transfers, refunds, rejected atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			t := e.Register()
+			state := seed*0x9e3779b97f4a7c15 + 7
+			next := func(n uint64) uint64 {
+				state = state*6364136223846793005 + 1442695040888963407
+				return state >> 40 % n
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src, dst := next(accounts), next(accounts)
+				if src == dst {
+					continue
+				}
+				a, b := vars[src], vars[dst]
+				x := t.SingleRead(a)
+				y := t.SingleRead(b)
+				if x.Uint() == 0 {
+					continue
+				}
+				amt := next(5) + 1
+				if amt > x.Uint() {
+					amt = x.Uint()
+				}
+				if next(10) < 8 {
+					// Ordinary transfer: 2-word CAS.
+					if spectm.CAS2(t, a, b, x, y,
+						spectm.FromUint(x.Uint()-amt), spectm.FromUint(y.Uint()+amt)) {
+						transfers.Add(1)
+					}
+				} else {
+					// Balance attestation: re-stamp dst's balance only
+					// while the switch is open — double-compare-single-
+					// swap against the flag (the paper's DCSS example).
+					if spectm.DCSS(t, b, open, y, spectm.FromUint(1), y) {
+						refunds.Add(1)
+					} else {
+						rejected.Add(1)
+					}
+				}
+			}
+		}(uint64(w) + 1)
+	}
+
+	// Auditor: consistent snapshots of account pairs via RO transactions.
+	auditor := e.Register()
+	for i := 0; i < 50000; i++ {
+		j := uint64(i) % (accounts - 1)
+		x := auditor.RORead1(vars[j])
+		y := auditor.RORead2(vars[j+1])
+		if auditor.ROValid2() {
+			if x.Uint()+y.Uint() > accounts*initial {
+				log.Fatal("snapshot shows impossible pair total")
+			}
+		}
+	}
+
+	// Close the switch with a 3-way KCSS: flag flips to 0 only if two
+	// sentinel accounts currently hold observed values.
+	for {
+		s0 := auditor.SingleRead(vars[0])
+		s1 := auditor.SingleRead(vars[1])
+		if spectm.KCSS(auditor,
+			[]spectm.Var{open, vars[0], vars[1]},
+			[]spectm.Value{spectm.FromUint(1), s0, s1},
+			spectm.FromUint(0)) {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	var total uint64
+	for i := range vars {
+		total += auditor.SingleRead(vars[i]).Uint()
+	}
+	if total != accounts*initial {
+		log.Fatalf("conservation violated: total %d != %d", total, accounts*initial)
+	}
+	if spectm.DCSS(auditor, vars[0], open, auditor.SingleRead(vars[0]), spectm.FromUint(1), spectm.FromUint(0)) {
+		log.Fatal("refund succeeded against a closed switch")
+	}
+	fmt.Printf("dcss: %d transfers, %d attestations, %d rejected (stale or closed)\n",
+		transfers.Load(), refunds.Load(), rejected.Load())
+	fmt.Printf("conservation verified: total balance %d\n", total)
+}

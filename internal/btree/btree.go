@@ -1,0 +1,343 @@
+// Package btree implements the data structure the paper names as future
+// work ("structures such as B-Trees which are more complex than those
+// studied in typical research on lock-free algorithms", §6) in SpecTM
+// style: the common operations — leaf lookups, inserts, updates and
+// deletes — are short transactions of 2–3 statically known locations,
+// while the rare structural changes (leaf and interior splits, root
+// growth) fall back to ordinary transactions on the same engine.
+//
+// The design is a B-link tree (Lehman–Yao):
+//
+//   - Every node carries a version cell. Mutators lock it with the first
+//     read of a short RW transaction (or write it inside a split's full
+//     transaction), so per-node mutations are serialized; readers
+//     bracket their scans with two version reads, a seqlock realized
+//     entirely with Tx_Single_Reads. Versions increase monotonically, so
+//     value-based validation is sound even on the val layout.
+//   - Every node carries a fence key and a right-sibling link. A reader
+//     or writer that reaches a node no longer covering its key follows
+//     the sibling chain, which makes stale navigations self-repairing
+//     and lets splits commit without touching readers.
+//   - Leaf key slots are unsorted, so an insert is exactly two writes
+//     (version, slot) plus one for the value — within the short API's
+//     four-location budget. Interior nodes stay sorted; they are only
+//     rewritten inside split transactions.
+//   - Nodes are never reclaimed (splits keep the left half in place, and
+//     deletes leave slots empty), so the tree needs no epoch protection.
+package btree
+
+import (
+	"fmt"
+
+	"spectm/internal/arena"
+	"spectm/internal/core"
+	"spectm/internal/word"
+)
+
+const (
+	// LeafSlots is the number of unsorted key/value slots per leaf.
+	LeafSlots = 8
+	// Fanout is the maximum number of separator keys per interior node.
+	Fanout = 8
+
+	idTreeBase = uint64(1) << 55
+)
+
+// node is one B-link node. leaf and level are immutable after
+// construction (level 0 = leaves); all other state lives in
+// transactional cells.
+type node struct {
+	leaf  bool
+	level int32
+	ver   core.Cell // mutation version; locked by every mutator
+	cnt   core.Cell // interior: number of separator keys
+	high  core.Cell // fence: encoded key+1 bound, Null = +infinity
+	next  core.Cell // right sibling handle, Null at the rightmost node
+	keys  [Fanout]core.Cell
+	vals  [Fanout + 1]core.Cell // leaf: values; interior: child handles
+}
+
+// Tree is a concurrent uint64→uint64 map.
+type Tree struct {
+	e    *core.Engine
+	a    *arena.Arena[node]
+	root core.Cell
+}
+
+// New creates an empty tree on engine e.
+func New(e *core.Engine) *Tree {
+	t := &Tree{e: e, a: arena.New[node]()}
+	h, n := t.a.Alloc()
+	t.initNode(n, true)
+	t.root.Init(enc(h))
+	return t
+}
+
+func enc(h arena.Handle) word.Value { return word.FromUint(uint64(h)) }
+func dec(v word.Value) arena.Handle { return arena.Handle(v.Uint()) }
+func encKey(k uint64) word.Value    { return word.FromUint(k + 1) }
+func decKey(v word.Value) uint64    { return v.Uint() - 1 }
+func encVal(v uint64) word.Value    { return word.FromUint(v) }
+
+func (t *Tree) initNode(n *node, leaf bool) {
+	n.leaf = leaf
+	n.level = 0
+	n.ver.Init(word.FromUint(1))
+	n.cnt.Init(word.Null)
+	n.high.Init(word.Null)
+	n.next.Init(word.Null)
+	for i := range n.keys {
+		n.keys[i].Init(word.Null)
+	}
+	for i := range n.vals {
+		n.vals[i].Init(word.Null)
+	}
+}
+
+// Cell identities for orec hashing: handle << 6 | field index.
+func (t *Tree) cellVar(h arena.Handle, c *core.Cell, field uint64) core.Var {
+	return t.e.VarOf(c, idTreeBase|uint64(h)<<6|field)
+}
+
+func (t *Tree) verVar(h arena.Handle, n *node) core.Var  { return t.cellVar(h, &n.ver, 0) }
+func (t *Tree) cntVar(h arena.Handle, n *node) core.Var  { return t.cellVar(h, &n.cnt, 1) }
+func (t *Tree) highVar(h arena.Handle, n *node) core.Var { return t.cellVar(h, &n.high, 2) }
+func (t *Tree) nextVar(h arena.Handle, n *node) core.Var { return t.cellVar(h, &n.next, 3) }
+func (t *Tree) keyVar(h arena.Handle, n *node, i int) core.Var {
+	return t.cellVar(h, &n.keys[i], 4+uint64(i))
+}
+func (t *Tree) valVar(h arena.Handle, n *node, i int) core.Var {
+	return t.cellVar(h, &n.vals[i], 4+Fanout+uint64(i))
+}
+func (t *Tree) rootVar() core.Var { return t.e.VarOf(&t.root, idTreeBase) }
+
+// Thread is a per-worker handle.
+type Thread struct {
+	t  *Tree
+	th *core.Thr
+}
+
+// NewThread registers a worker.
+func (t *Tree) NewThread() *Thread { return &Thread{t: t, th: t.e.Register()} }
+
+// Thr exposes the engine thread (stats).
+func (x *Thread) Thr() *core.Thr { return x.th }
+
+// covers reports whether key falls below the node's fence.
+func covers(high word.Value, key uint64) bool {
+	return high.IsNull() || key+1 < high.Uint()
+}
+
+// descend walks from the root to the leaf responsible for key, following
+// sibling links across concurrent splits. Interior scans are seqlocked
+// on the node version.
+func (x *Thread) descend(key uint64) arena.Handle {
+	tr := x.t
+	th := x.th
+restart:
+	h := dec(th.SingleRead(tr.rootVar()))
+	for {
+		n := tr.a.Get(h)
+		if n.leaf {
+			return h
+		}
+		v1 := th.SingleRead(tr.verVar(h, n))
+		high := th.SingleRead(tr.highVar(h, n))
+		if !covers(high, key) {
+			nxt := th.SingleRead(tr.nextVar(h, n))
+			if th.SingleRead(tr.verVar(h, n)) != v1 {
+				goto restart
+			}
+			if nxt.IsNull() {
+				goto restart
+			}
+			h = dec(nxt)
+			continue
+		}
+		cnt := int(th.SingleRead(tr.cntVar(h, n)).Uint())
+		if cnt > Fanout {
+			goto restart // torn read of a node mid-rewrite
+		}
+		// Sorted separators: child i covers keys < keys[i].
+		child := word.Null
+		idx := cnt
+		for i := 0; i < cnt; i++ {
+			kv := th.SingleRead(tr.keyVar(h, n, i))
+			if kv.IsNull() {
+				goto restart
+			}
+			if key < decKey(kv) {
+				idx = i
+				break
+			}
+		}
+		child = th.SingleRead(tr.valVar(h, n, idx))
+		if th.SingleRead(tr.verVar(h, n)) != v1 {
+			goto restart
+		}
+		if child.IsNull() {
+			goto restart
+		}
+		h = dec(child)
+	}
+}
+
+// leafFor returns the leaf currently covering key, following fences.
+// The returned snapshot fields are only advisory; mutators re-validate
+// under the version lock.
+func (x *Thread) leafFor(key uint64) arena.Handle {
+	tr := x.t
+	th := x.th
+	h := x.descend(key)
+	for {
+		n := tr.a.Get(h)
+		v1 := th.SingleRead(tr.verVar(h, n))
+		high := th.SingleRead(tr.highVar(h, n))
+		nxt := th.SingleRead(tr.nextVar(h, n))
+		if th.SingleRead(tr.verVar(h, n)) != v1 {
+			continue
+		}
+		if covers(high, key) {
+			return h
+		}
+		if nxt.IsNull() {
+			// A fence without a sibling is transient mid-split state;
+			// re-descend.
+			h = x.descend(key)
+			continue
+		}
+		h = dec(nxt)
+	}
+}
+
+// Get returns the value stored for key.
+func (x *Thread) Get(key uint64) (uint64, bool) {
+	tr := x.t
+	th := x.th
+	for {
+		h := x.leafFor(key)
+		n := tr.a.Get(h)
+		v1 := th.SingleRead(tr.verVar(h, n))
+		if !covers(th.SingleRead(tr.highVar(h, n)), key) {
+			continue // split raced in; re-navigate
+		}
+		var val word.Value
+		found := false
+		for i := 0; i < LeafSlots; i++ {
+			kv := th.SingleRead(tr.keyVar(h, n, i))
+			if kv == encKey(key) {
+				val = th.SingleRead(tr.valVar(h, n, i))
+				found = true
+				break
+			}
+		}
+		if th.SingleRead(tr.verVar(h, n)) != v1 {
+			continue // seqlock failed; rescan
+		}
+		if !found {
+			return 0, false
+		}
+		return val.Uint(), true
+	}
+}
+
+// Put inserts or updates key→val. It reports whether the key was new.
+func (x *Thread) Put(key, val uint64) bool {
+	if val > word.MaxPayload {
+		panic(fmt.Sprintf("btree: value %d out of range", val))
+	}
+	tr := x.t
+	th := x.th
+	for attempt := 1; ; attempt++ {
+		h := x.leafFor(key)
+		n := tr.a.Get(h)
+		// Lock the leaf: first read of a short RW transaction.
+		v := th.RWRead1(tr.verVar(h, n))
+		if !th.RWValid1() {
+			th.Backoff(attempt)
+			continue
+		}
+		// The leaf is stable now; plain single reads below cannot race
+		// with other mutators.
+		if !covers(th.SingleRead(tr.highVar(h, n)), key) {
+			th.RWAbort1() // split moved our key range; re-navigate
+			continue
+		}
+		free := -1
+		slot := -1
+		for i := 0; i < LeafSlots; i++ {
+			kv := th.SingleRead(tr.keyVar(h, n, i))
+			if kv == encKey(key) {
+				slot = i
+				break
+			}
+			if kv.IsNull() && free < 0 {
+				free = i
+			}
+		}
+		switch {
+		case slot >= 0:
+			// Update: version + value, a 2-location short transaction.
+			th.RWRead2(tr.valVar(h, n, slot))
+			if !th.RWValid2() {
+				th.Backoff(attempt)
+				continue
+			}
+			th.RWCommit2(word.FromUint(v.Uint()+1), encVal(val))
+			return false
+		case free >= 0:
+			// Insert: version + key slot + value slot (3 locations).
+			th.RWRead2(tr.keyVar(h, n, free))
+			th.RWRead3(tr.valVar(h, n, free))
+			if !th.RWValid3() {
+				th.Backoff(attempt)
+				continue
+			}
+			th.RWCommit3(word.FromUint(v.Uint()+1), encKey(key), encVal(val))
+			return true
+		default:
+			// Full leaf: release and split with an ordinary transaction.
+			th.RWAbort1()
+			x.splitLeaf(h)
+		}
+	}
+}
+
+// Delete removes key; false if absent. Slots simply empty out — B-link
+// trees need no merging for correctness.
+func (x *Thread) Delete(key uint64) bool {
+	tr := x.t
+	th := x.th
+	for attempt := 1; ; attempt++ {
+		h := x.leafFor(key)
+		n := tr.a.Get(h)
+		v := th.RWRead1(tr.verVar(h, n))
+		if !th.RWValid1() {
+			th.Backoff(attempt)
+			continue
+		}
+		if !covers(th.SingleRead(tr.highVar(h, n)), key) {
+			th.RWAbort1()
+			continue
+		}
+		slot := -1
+		for i := 0; i < LeafSlots; i++ {
+			if th.SingleRead(tr.keyVar(h, n, i)) == encKey(key) {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			th.RWAbort1()
+			return false
+		}
+		th.RWRead2(tr.keyVar(h, n, slot))
+		th.RWRead3(tr.valVar(h, n, slot))
+		if !th.RWValid3() {
+			th.Backoff(attempt)
+			continue
+		}
+		th.RWCommit3(word.FromUint(v.Uint()+1), word.Null, word.Null)
+		return true
+	}
+}

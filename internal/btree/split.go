@@ -1,0 +1,360 @@
+// Structural changes: the rare path, expressed as ordinary transactions.
+// A B-link split is two independent atomic steps — (1) split the node and
+// link the right sibling, (2) post the separator into the parent level —
+// and the tree is fully consistent between them because traversals
+// follow sibling links (Lehman–Yao).
+//
+// Separator posting is positional, not parental: the poster descends by
+// the separator key (following fences) to the node one level above the
+// split and inserts (sep, right) at the separator's sorted position.
+// Identity-based parent search would livelock: a node whose own
+// separator is still unposted is reachable only through sibling links,
+// never through a parent pointer.
+package btree
+
+import (
+	"sort"
+
+	"spectm/internal/arena"
+	"spectm/internal/word"
+)
+
+// splitLeaf splits the full leaf h and posts the separator upward. It is
+// a no-op if a concurrent split already made room.
+func (x *Thread) splitLeaf(h arena.Handle) {
+	tr := x.t
+	th := x.th
+	n := tr.a.Get(h)
+
+	type kv struct{ k, v word.Value }
+	var sep uint64
+	var rightH arena.Handle
+
+	for attempt := 1; ; attempt++ {
+		th.TxStart()
+		v := th.TxRead(tr.verVar(h, n))
+		var items []kv
+		for i := 0; i < LeafSlots; i++ {
+			k := th.TxRead(tr.keyVar(h, n, i))
+			if !k.IsNull() {
+				items = append(items, kv{k, th.TxRead(tr.valVar(h, n, i))})
+			}
+		}
+		if !th.TxOK() {
+			th.TxCommit()
+			th.Backoff(attempt)
+			continue
+		}
+		if len(items) < LeafSlots {
+			th.TxAbort() // someone made room already
+			if !rightH.IsNil() {
+				tr.a.Free(rightH) // never published
+			}
+			return
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a].k < items[b].k })
+		mid := len(items) / 2
+		sep = decKey(items[mid].k)
+		moved := items[mid:]
+
+		// Build the right sibling privately.
+		if rightH.IsNil() {
+			var rn *node
+			rightH, rn = tr.a.Alloc()
+			tr.initNode(rn, true)
+		}
+		rn := tr.a.Get(rightH)
+		tr.initNode(rn, true)
+		for i, it := range moved {
+			rn.keys[i].Init(it.k)
+			rn.vals[i].Init(it.v)
+		}
+		rn.high.Init(th.TxRead(tr.highVar(h, n)))
+		rn.next.Init(th.TxRead(tr.nextVar(h, n)))
+		if !th.TxOK() {
+			th.TxCommit()
+			th.Backoff(attempt)
+			continue
+		}
+
+		// Rewrite the left half: clear moved slots, set fence + link.
+		for i := 0; i < LeafSlots; i++ {
+			k := th.TxRead(tr.keyVar(h, n, i))
+			if !k.IsNull() && decKey(k) >= sep {
+				th.TxWrite(tr.keyVar(h, n, i), word.Null)
+				th.TxWrite(tr.valVar(h, n, i), word.Null)
+			}
+		}
+		th.TxWrite(tr.highVar(h, n), encKey(sep))
+		th.TxWrite(tr.nextVar(h, n), enc(rightH))
+		th.TxWrite(tr.verVar(h, n), word.FromUint(v.Uint()+1))
+		if th.TxCommit() {
+			break
+		}
+		th.Backoff(attempt)
+	}
+	x.postSeparator(h, rightH, sep, 0)
+}
+
+// postSeparator inserts (sep, right) at the level above childLevel,
+// growing the root or splitting full ancestors as needed. left is the
+// node that was split (used only to validate root growth).
+func (x *Thread) postSeparator(left, right arena.Handle, sep uint64, childLevel int32) {
+	th := x.th
+	for attempt := 1; ; attempt++ {
+		parent, atRoot := x.hostFor(sep, childLevel)
+		if atRoot {
+			if x.growRoot(left, right, sep) {
+				return
+			}
+			th.Backoff(attempt)
+			continue
+		}
+		switch x.insertSeparator(parent, right, sep) {
+		case sepDone:
+			return
+		case sepParentFull:
+			x.splitInterior(parent)
+		case sepRetry:
+			th.Backoff(attempt)
+		}
+	}
+}
+
+// hostFor descends by key toward sep, following fences, and returns the
+// node at childLevel+1 that covers sep. atRoot reports that the root
+// itself sits at childLevel, so the tree must grow first.
+func (x *Thread) hostFor(sep uint64, childLevel int32) (arena.Handle, bool) {
+	tr := x.t
+	th := x.th
+restart:
+	h := dec(th.SingleRead(tr.rootVar()))
+	if tr.a.Get(h).level == childLevel {
+		return 0, true
+	}
+	for {
+		n := tr.a.Get(h)
+		if n.level <= childLevel {
+			// The tree changed shape under us; start over.
+			goto restart
+		}
+		v1 := th.SingleRead(tr.verVar(h, n))
+		if !covers(th.SingleRead(tr.highVar(h, n)), sep) {
+			nxt := th.SingleRead(tr.nextVar(h, n))
+			if th.SingleRead(tr.verVar(h, n)) != v1 || nxt.IsNull() {
+				goto restart
+			}
+			h = dec(nxt)
+			continue
+		}
+		if n.level == childLevel+1 {
+			return h, false
+		}
+		cnt := int(th.SingleRead(tr.cntVar(h, n)).Uint())
+		if cnt > Fanout {
+			goto restart
+		}
+		idx := cnt
+		for i := 0; i < cnt; i++ {
+			kv := th.SingleRead(tr.keyVar(h, n, i))
+			if kv.IsNull() {
+				goto restart
+			}
+			if sep < decKey(kv) {
+				idx = i
+				break
+			}
+		}
+		kid := th.SingleRead(tr.valVar(h, n, idx))
+		if th.SingleRead(tr.verVar(h, n)) != v1 || kid.IsNull() {
+			goto restart
+		}
+		h = dec(kid)
+	}
+}
+
+type sepOutcome int
+
+const (
+	sepDone sepOutcome = iota
+	sepParentFull
+	sepRetry
+)
+
+// insertSeparator adds (sep, right) at sep's sorted position inside
+// parent, in one ordinary transaction.
+func (x *Thread) insertSeparator(parent, right arena.Handle, sep uint64) sepOutcome {
+	tr := x.t
+	th := x.th
+	p := tr.a.Get(parent)
+	th.TxStart()
+	v := th.TxRead(tr.verVar(parent, p))
+	if !covers(th.TxRead(tr.highVar(parent, p)), sep) {
+		// The host split away from under us; re-find it.
+		th.TxAbort()
+		return sepRetry
+	}
+	cnt := int(th.TxRead(tr.cntVar(parent, p)).Uint())
+	if !th.TxOK() || cnt > Fanout {
+		th.TxCommit()
+		return sepRetry
+	}
+	if cnt == Fanout {
+		th.TxAbort()
+		return sepParentFull
+	}
+	// Sorted position; the separator may already be present from a
+	// racing re-post.
+	pos := cnt
+	for i := 0; i < cnt; i++ {
+		kv := th.TxRead(tr.keyVar(parent, p, i))
+		if !th.TxOK() {
+			th.TxCommit()
+			return sepRetry
+		}
+		if kv.IsNull() {
+			th.TxAbort()
+			return sepRetry
+		}
+		k := decKey(kv)
+		if k == sep {
+			th.TxAbort()
+			return sepDone
+		}
+		if sep < k {
+			pos = i
+			break
+		}
+	}
+	// Shift keys[pos..cnt-1] and kids[pos+1..cnt] right by one.
+	for i := cnt; i > pos; i-- {
+		th.TxWrite(tr.keyVar(parent, p, i), th.TxRead(tr.keyVar(parent, p, i-1)))
+		th.TxWrite(tr.valVar(parent, p, i+1), th.TxRead(tr.valVar(parent, p, i)))
+	}
+	if !th.TxOK() {
+		th.TxCommit()
+		return sepRetry
+	}
+	th.TxWrite(tr.keyVar(parent, p, pos), encKey(sep))
+	th.TxWrite(tr.valVar(parent, p, pos+1), enc(right))
+	th.TxWrite(tr.cntVar(parent, p), word.FromUint(uint64(cnt)+1))
+	th.TxWrite(tr.verVar(parent, p), word.FromUint(v.Uint()+1))
+	if th.TxCommit() {
+		return sepDone
+	}
+	return sepRetry
+}
+
+// splitInterior splits a full interior node, then posts its separator
+// upward.
+func (x *Thread) splitInterior(h arena.Handle) {
+	tr := x.t
+	th := x.th
+	n := tr.a.Get(h)
+	var sep uint64
+	var rightH arena.Handle
+
+	for attempt := 1; ; attempt++ {
+		th.TxStart()
+		v := th.TxRead(tr.verVar(h, n))
+		cnt := int(th.TxRead(tr.cntVar(h, n)).Uint())
+		if !th.TxOK() || cnt > Fanout {
+			th.TxCommit()
+			th.Backoff(attempt)
+			continue
+		}
+		if cnt < Fanout {
+			th.TxAbort() // already split by someone else
+			if !rightH.IsNil() {
+				tr.a.Free(rightH) // never published
+			}
+			return
+		}
+		var keys [Fanout]word.Value
+		var kids [Fanout + 1]word.Value
+		for i := 0; i < cnt; i++ {
+			keys[i] = th.TxRead(tr.keyVar(h, n, i))
+		}
+		for i := 0; i <= cnt; i++ {
+			kids[i] = th.TxRead(tr.valVar(h, n, i))
+		}
+		if !th.TxOK() {
+			th.TxCommit()
+			th.Backoff(attempt)
+			continue
+		}
+		mid := cnt / 2
+		sep = decKey(keys[mid]) // moves up; right gets keys[mid+1..]
+
+		if rightH.IsNil() {
+			var rn *node
+			rightH, rn = tr.a.Alloc()
+			tr.initNode(rn, false)
+		}
+		rn := tr.a.Get(rightH)
+		tr.initNode(rn, false)
+		rn.level = n.level
+		rcnt := cnt - mid - 1
+		for i := 0; i < rcnt; i++ {
+			rn.keys[i].Init(keys[mid+1+i])
+		}
+		for i := 0; i <= rcnt; i++ {
+			rn.vals[i].Init(kids[mid+1+i])
+		}
+		rn.cnt.Init(word.FromUint(uint64(rcnt)))
+		rn.high.Init(th.TxRead(tr.highVar(h, n)))
+		rn.next.Init(th.TxRead(tr.nextVar(h, n)))
+		if !th.TxOK() {
+			th.TxCommit()
+			th.Backoff(attempt)
+			continue
+		}
+
+		for i := mid; i < cnt; i++ {
+			th.TxWrite(tr.keyVar(h, n, i), word.Null)
+		}
+		for i := mid + 1; i <= cnt; i++ {
+			th.TxWrite(tr.valVar(h, n, i), word.Null)
+		}
+		th.TxWrite(tr.cntVar(h, n), word.FromUint(uint64(mid)))
+		th.TxWrite(tr.highVar(h, n), encKey(sep))
+		th.TxWrite(tr.nextVar(h, n), enc(rightH))
+		th.TxWrite(tr.verVar(h, n), word.FromUint(v.Uint()+1))
+		if th.TxCommit() {
+			break
+		}
+		th.Backoff(attempt)
+	}
+	x.postSeparator(h, rightH, sep, n.level)
+}
+
+// growRoot replaces the root with a new interior node over (left, right).
+func (x *Thread) growRoot(left, right arena.Handle, sep uint64) bool {
+	tr := x.t
+	th := x.th
+	th.TxStart()
+	cur := th.TxRead(tr.rootVar())
+	if !th.TxOK() {
+		th.TxCommit()
+		return false
+	}
+	if dec(cur) != left {
+		// Someone else grew the tree; the separator will be posted into
+		// the new root by the normal path.
+		th.TxAbort()
+		return false
+	}
+	h, rn := tr.a.Alloc()
+	tr.initNode(rn, false)
+	rn.level = tr.a.Get(left).level + 1
+	rn.cnt.Init(word.FromUint(1))
+	rn.keys[0].Init(encKey(sep))
+	rn.vals[0].Init(enc(left))
+	rn.vals[1].Init(enc(right))
+	th.TxWrite(tr.rootVar(), enc(h))
+	if th.TxCommit() {
+		return true
+	}
+	tr.a.Free(h) // never published
+	return false
+}

@@ -1,0 +1,81 @@
+// Package clock provides the two version-management strategies of the
+// paper's §4.1:
+//
+//   - Global: a single shared 64-bit version number incremented by every
+//     non-read-only commit (TL2 style; sampled at transaction start, used
+//     with timebase extension).
+//   - PerThread: one padded counter per thread, bumped on each commit by
+//     its owner. Logically incrementing the "shared counter" is a cheap
+//     local add; reading it means summing all slots (paper §2.4).
+//
+// We follow the paper's 64-bit assumption and ignore overflow (§4.1).
+package clock
+
+import (
+	"runtime"
+
+	"spectm/internal/pad"
+)
+
+// Global is the shared TL2-style clock.
+type Global struct {
+	c pad.U64
+}
+
+// Read samples the clock.
+func (g *Global) Read() uint64 { return g.c.Load() }
+
+// Tick increments the clock and returns the new value, the commit
+// timestamp of the caller.
+func (g *Global) Tick() uint64 { return g.c.Add(1) }
+
+// PerThread is the distributed alternative: per-thread commit counters
+// operated as a distributed sequence lock. A writer bumps its own slot to
+// odd immediately before its store phase and back to even immediately
+// after, so an odd slot means "stores in flight". Readers sample the
+// logical clock with StableSum, which refuses to return while any writer
+// is mid-phase. Two equal StableSums with a successful value validation
+// in between certify a consistent snapshot (Dalessandro et al., as cited
+// in §2.4 of the paper).
+type PerThread struct {
+	slots *pad.Slots
+}
+
+// NewPerThread returns counters for n threads.
+func NewPerThread(n int) *PerThread { return &PerThread{slots: pad.NewSlots(n)} }
+
+// Bump advances thread tid's slot by one, toggling its parity. Writers
+// call it in pairs bracketing their store phase.
+func (p *PerThread) Bump(tid int) { p.slots.At(tid).Add(1) }
+
+// Sum reads the raw sum of all per-thread counters without the parity
+// check. It is a monotone activity indicator, not a snapshot.
+func (p *PerThread) Sum() uint64 { return p.slots.Sum() }
+
+// StableSum reads the logical clock: the sum of all per-thread counters,
+// sampled only when every slot is even (no writer inside a store phase).
+// The composite is still not atomic; callers bracket validations with two
+// StableSums and retry on inequality.
+func (p *PerThread) StableSum() uint64 {
+	for spins := 0; ; spins++ {
+		var t uint64
+		odd := false
+		for i := 0; i < p.slots.Len(); i++ {
+			v := p.slots.At(i).Load()
+			if v&1 == 1 {
+				odd = true
+				break
+			}
+			t += v
+		}
+		if !odd {
+			return t
+		}
+		if spins&0xf == 0xf {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Threads returns the slot count.
+func (p *PerThread) Threads() int { return p.slots.Len() }

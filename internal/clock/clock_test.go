@@ -1,0 +1,84 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGlobalTick(t *testing.T) {
+	var g Global
+	if g.Read() != 0 {
+		t.Fatal("fresh clock must read 0")
+	}
+	if g.Tick() != 1 || g.Tick() != 2 {
+		t.Fatal("Tick must return consecutive values")
+	}
+	if g.Read() != 2 {
+		t.Fatal("Read must observe the last Tick")
+	}
+}
+
+func TestGlobalTickConcurrent(t *testing.T) {
+	var g Global
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	seen := make([]map[uint64]bool, workers)
+	for w := 0; w < workers; w++ {
+		seen[w] = make(map[uint64]bool, per)
+		wg.Add(1)
+		go func(m map[uint64]bool) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m[g.Tick()] = true
+			}
+		}(seen[w])
+	}
+	wg.Wait()
+	all := make(map[uint64]bool, workers*per)
+	for _, m := range seen {
+		for v := range m {
+			if all[v] {
+				t.Fatalf("timestamp %d handed out twice", v)
+			}
+			all[v] = true
+		}
+	}
+	if g.Read() != workers*per {
+		t.Fatalf("final clock %d, want %d", g.Read(), workers*per)
+	}
+}
+
+func TestPerThreadSum(t *testing.T) {
+	p := NewPerThread(4)
+	if p.Sum() != 0 {
+		t.Fatal("fresh per-thread clock must sum to 0")
+	}
+	p.Bump(0)
+	p.Bump(3)
+	p.Bump(3)
+	if got := p.Sum(); got != 3 {
+		t.Fatalf("Sum = %d, want 3", got)
+	}
+	if p.Threads() != 4 {
+		t.Fatal("Threads mismatch")
+	}
+}
+
+func TestPerThreadConcurrent(t *testing.T) {
+	const workers, per = 8, 10000
+	p := NewPerThread(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.Bump(tid)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := p.Sum(); got != workers*per {
+		t.Fatalf("Sum = %d, want %d", got, workers*per)
+	}
+}

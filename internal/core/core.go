@@ -1,0 +1,315 @@
+// Package core implements SpecTM, the specialized software transactional
+// memory of Dragojević & Harris, "STM in the Small" (EuroSys 2012).
+//
+// One Engine provides three APIs over the same meta-data, so they can be
+// freely mixed (the paper's key compositionality property, §2/§3):
+//
+//   - Single-location transactions (Tx_Single_Read/Write/CAS, §2.2):
+//     SingleRead, SingleWrite, SingleCAS.
+//   - Short transactions of a statically known size ≤ 4 (§2.2): numbered
+//     reads RWRead1..4 / RORead1..4, validation, commit-with-values,
+//     read-only↔read-write upgrades, combined commits.
+//   - Full transactions (BaseTM, §2.1/§4.1): TxStart/TxRead/TxWrite/
+//     TxCommit, following TL2 with timebase extension, commit-time
+//     locking, invisible reads and deferred updates; for the val layout a
+//     NOrec-style value-validated protocol with (per-thread) commit
+//     counters.
+//
+// The Engine is configured with one of three meta-data layouts (Fig 3):
+//
+//	LayoutOrec — shared hash-indexed ownership-record table (Fig 3a)
+//	LayoutTVar — per-word ownership record co-located with data (Fig 3b)
+//	LayoutVal  — one lock bit stolen from the data word itself (Fig 3c),
+//	             with value-based validation
+//
+// and one of two version-management strategies (§4.1): ClockGlobal (one
+// shared TL2 counter) or ClockLocal (per-orec versions with incremental
+// validation; per-thread commit counters in the val layout).
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"spectm/internal/backoff"
+	"spectm/internal/clock"
+	"spectm/internal/epoch"
+	"spectm/internal/rng"
+	"spectm/internal/word"
+)
+
+// Value re-exports the transactional word encoding for callers of the API.
+type Value = word.Value
+
+// Layout selects how STM meta-data is organized (paper Fig 3).
+type Layout uint8
+
+const (
+	// LayoutOrec uses a shared table of ownership records indexed by a
+	// hash of the word's stable identity (Fig 3a).
+	LayoutOrec Layout = iota
+	// LayoutTVar co-locates a private ownership record with each data
+	// word (Fig 3b).
+	LayoutTVar
+	// LayoutVal reserves one bit of the data word as the only meta-data
+	// and validates reads by value (Fig 3c, §2.4).
+	LayoutVal
+)
+
+// String implements fmt.Stringer for variant labels.
+func (l Layout) String() string {
+	switch l {
+	case LayoutOrec:
+		return "orec"
+	case LayoutTVar:
+		return "tvar"
+	case LayoutVal:
+		return "val"
+	}
+	return "unknown"
+}
+
+// ClockMode selects the version-management strategy (§4.1).
+type ClockMode uint8
+
+const (
+	// ClockGlobal uses one shared version number (TL2 style).
+	ClockGlobal ClockMode = iota
+	// ClockLocal uses per-orec versions without a global counter,
+	// paying for it with read-set validation after every read. In the
+	// val layout it selects per-thread commit counters.
+	ClockLocal
+)
+
+// String implements fmt.Stringer for variant labels.
+func (c ClockMode) String() string {
+	if c == ClockGlobal {
+		return "g"
+	}
+	return "l"
+}
+
+// MaxShort is the largest number of locations a short transaction may
+// access. The paper uses four and notes the limit "can be increased in a
+// straightforward manner" (§2.2).
+const MaxShort = 4
+
+// Config parametrizes an Engine.
+type Config struct {
+	Layout Layout
+	Clock  ClockMode
+
+	// OrecBits is log2 of the ownership-record table size for
+	// LayoutOrec. Defaults to 18 (256k orecs). Tiny values are useful in
+	// tests to force false conflicts.
+	OrecBits int
+
+	// MaxThreads bounds Register calls (sizes per-thread counter arrays
+	// and the epoch domain). Defaults to 128.
+	MaxThreads int
+
+	// Debug enables the paper's §2.2 runtime misuse checks (read/write
+	// set disjointness, duplicate locations, lock leaks into full
+	// transactions). See debug.go.
+	Debug bool
+
+	// ValNoCounter, for LayoutVal only, drops the commit-counter check
+	// from value-based validation. This is sound only under the paper's
+	// §2.4 special cases (e.g. the non-re-use property, which arena
+	// handles provide); it is what the paper's val-short and the Fig 5
+	// val-full variants measure. When false, validation additionally
+	// consults per-thread commit counters (after Dalessandro et al.),
+	// making general transactions safe.
+	ValNoCounter bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.OrecBits == 0 {
+		c.OrecBits = 18
+	}
+	if c.MaxThreads == 0 {
+		c.MaxThreads = 128
+	}
+	return c
+}
+
+// Engine is a SpecTM instance: meta-data layout, clocks, and the thread
+// registry. All transactional data accessed through one Engine must be
+// created against that Engine.
+type Engine struct {
+	cfg      Config
+	orecs    []uint64 // LayoutOrec only
+	orecMask uint64
+	global   clock.Global
+	local    *clock.PerThread
+	nextThr  atomic.Int32
+	nextID   atomic.Uint64 // identity source for standalone vars
+	epochDom *epoch.Domain
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:      cfg,
+		local:    clock.NewPerThread(cfg.MaxThreads),
+		epochDom: epoch.NewDomain(cfg.MaxThreads),
+	}
+	if cfg.Layout == LayoutOrec {
+		n := uint64(1) << cfg.OrecBits
+		e.orecs = make([]uint64, n)
+		e.orecMask = n - 1
+	}
+	return e
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Layout returns the engine's meta-data layout.
+func (e *Engine) Layout() Layout { return e.cfg.Layout }
+
+// Cell is the in-memory representation of one transactional word. One
+// struct serves all layouts: LayoutTVar uses meta as the co-located orec;
+// LayoutOrec and LayoutVal ignore it (the former uses the shared table,
+// the latter needs no meta word at all). Cells are typically embedded in
+// arena-allocated nodes.
+type Cell struct {
+	meta uint64
+	data uint64
+}
+
+// Init (re)initializes a cell to hold v with a fresh version. It must not
+// race with transactional access to the same cell; it is for construction
+// of not-yet-published nodes.
+func (c *Cell) Init(v Value) {
+	atomic.StoreUint64(&c.meta, 0)
+	atomic.StoreUint64(&c.data, uint64(v))
+}
+
+// Var addresses one transactional word: the data word plus the location
+// of its meta-data under the engine's layout.
+type Var struct {
+	meta *uint64 // nil for LayoutVal
+	data *uint64
+}
+
+// VarOf binds a cell to its meta-data. id must be a stable identity for
+// the word (e.g. arena handle and field index packed together); under
+// LayoutOrec it indexes the shared orec table, reproducing the paper's
+// hash-based mapping, including false conflicts on collisions.
+func (e *Engine) VarOf(c *Cell, id uint64) Var {
+	switch e.cfg.Layout {
+	case LayoutOrec:
+		return Var{meta: &e.orecs[rng.Mix(id)&e.orecMask], data: &c.data}
+	case LayoutTVar:
+		return Var{meta: &c.meta, data: &c.data}
+	default: // LayoutVal
+		return Var{data: &c.data}
+	}
+}
+
+// NewVar allocates a standalone transactional variable initialized to v.
+// Data-structure nodes embed Cells instead and use VarOf.
+func (e *Engine) NewVar(v Value) Var {
+	c := &Cell{}
+	c.Init(v)
+	return e.VarOf(c, e.nextID.Add(1))
+}
+
+// Stats counts per-thread transaction outcomes.
+type Stats struct {
+	Commits      uint64 // full-transaction commits
+	Aborts       uint64 // full-transaction aborts (conflicts)
+	ShortCommits uint64 // short-transaction commits (incl. RO validations)
+	ShortAborts  uint64 // short-transaction conflicts
+	Singles      uint64 // single-location transactions
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.ShortCommits += o.ShortCommits
+	s.ShortAborts += o.ShortAborts
+	s.Singles += o.Singles
+}
+
+// Thr is a registered thread: the per-thread transaction descriptor of
+// §4.1 ("all transactions executed by the same thread use the same
+// per-thread transaction descriptor"). A Thr must not be shared between
+// goroutines.
+type Thr struct {
+	e     *Engine
+	id    int    // 0-based thread index
+	owner uint64 // id+1; appears in lock words
+	// Epoch is the thread's reclamation slot, shared with the data
+	// structures built over the engine.
+	Epoch *epoch.Slot
+	// Rng is the thread's private generator (backoff, workloads).
+	Rng *rng.State
+	// Stats accumulates outcome counts.
+	Stats Stats
+
+	short shortRec
+	txn   txnRec
+}
+
+// Register allocates a thread slot on the engine.
+func (e *Engine) Register() *Thr {
+	id := int(e.nextThr.Add(1)) - 1
+	if id >= e.cfg.MaxThreads {
+		panic(fmt.Sprintf("core: more than MaxThreads=%d registered threads", e.cfg.MaxThreads))
+	}
+	return &Thr{
+		e:     e,
+		id:    id,
+		owner: uint64(id) + 1,
+		Epoch: e.epochDom.Register(),
+		Rng:   rng.New(uint64(id)*0x9e3779b97f4a7c15 + 1),
+	}
+}
+
+// ID returns the thread's index.
+func (t *Thr) ID() int { return t.id }
+
+// Engine returns the engine this thread is registered with.
+func (t *Thr) Engine() *Engine { return t.e }
+
+// valCounters reports whether the val layout's commit counters are in
+// effect for this engine.
+func (t *Thr) valCounters() bool {
+	return t.e.cfg.Layout == LayoutVal && !t.e.cfg.ValNoCounter
+}
+
+// storeBegin marks the start of a store phase: the thread's commit
+// counter goes odd, which makes concurrent StableSum samplers wait. The
+// bracketed store phase must be short and panic-free.
+func (t *Thr) storeBegin() {
+	if t.valCounters() {
+		t.e.local.Bump(t.id)
+	}
+}
+
+// storeEnd marks the end of a store phase (counter back to even).
+func (t *Thr) storeEnd() {
+	if t.valCounters() {
+		t.e.local.Bump(t.id)
+	}
+}
+
+// stableSum reads the logical commit counter (val layout), waiting out
+// any writer that is inside its store phase.
+func (e *Engine) stableSum() uint64 { return e.local.StableSum() }
+
+// Backoff delays the caller before a retry, using the randomized linear
+// contention manager (attempt is 1-based).
+func (t *Thr) Backoff(attempt int) { backoff.Wait(t.Rng, attempt) }
+
+// spinWait is a bounded busy-wait used while a lock bit is expected to
+// clear momentarily; it yields to the scheduler each round.
+func spinWait(iter int) {
+	if iter&0xf == 0xf {
+		backoff.Yield()
+	}
+}

@@ -1,0 +1,88 @@
+// Debug-mode misuse detection (paper §2.2): "Using short SpecTM
+// transactions ... can easily result in mistakes by programmers (e.g.
+// using a wrong function name or a wrong index). Incorrect uses of the
+// SpecTM interface can typically be detected at runtime. For
+// performance, we do not implement such checks in non-debug modes."
+//
+// With Config.Debug set, the engine additionally enforces:
+//
+//   - read-set / write-set disjointness inside short transactions;
+//   - no duplicate locations in a short transaction's access list;
+//   - no full transaction started while the thread's short record holds
+//     locks (lock-leak / self-deadlock hazard);
+//   - no reads or writes on a full transaction outside TxStart/TxCommit;
+//   - value encodability on every layout, not just val.
+//
+// Index-ordering and arity mistakes are checked unconditionally (they
+// cost a comparison on a cold path); the checks here add per-access scans
+// and are therefore opt-in.
+package core
+
+import "fmt"
+
+// debugCheckRWRead validates a Tx_RW_Ri access against the record.
+func (t *Thr) debugCheckRWRead(v Var) {
+	if !t.e.cfg.Debug {
+		return
+	}
+	s := &t.short
+	for j := 0; j < s.nr; j++ {
+		if s.rData[j] == v.data {
+			panic(fmt.Sprintf("core: debug: RW read of location already in the read-only set (index %d); read and write sets must be disjoint (§2.2)", j+1))
+		}
+	}
+	for j := 0; j < s.nw; j++ {
+		if s.wData[j] == v.data {
+			panic(fmt.Sprintf("core: debug: duplicate RW access to one location (indices %d and %d); each access must be to a distinct memory location (§2.2)", j+1, s.nw+1))
+		}
+	}
+}
+
+// debugCheckRORead validates a Tx_RO_Ri access against the record.
+func (t *Thr) debugCheckRORead(v Var) {
+	if !t.e.cfg.Debug {
+		return
+	}
+	s := &t.short
+	for j := 0; j < s.nw; j++ {
+		if s.wData[j] == v.data {
+			panic(fmt.Sprintf("core: debug: RO read of location already in the write set (index %d); read and write sets must be disjoint (§2.2)", j+1))
+		}
+	}
+	for j := 0; j < s.nr; j++ {
+		if s.rData[j] == v.data {
+			panic(fmt.Sprintf("core: debug: duplicate RO access to one location (indices %d and %d)", j+1, s.nr+1))
+		}
+	}
+}
+
+// debugCheckTxStart catches a full transaction starting while the short
+// record still holds encounter-time locks — the combination deadlocks
+// against itself as soon as the write sets overlap.
+func (t *Thr) debugCheckTxStart() {
+	if !t.e.cfg.Debug {
+		return
+	}
+	if s := &t.short; s.valid && !s.done && s.nw > 0 {
+		panic("core: debug: TxStart while the short-transaction record holds locks; commit, abort or discard it first")
+	}
+}
+
+// debugCheckTxActive guards TxRead/TxWrite outside a transaction.
+func (t *Thr) debugCheckTxActive(op string) {
+	if !t.e.cfg.Debug {
+		return
+	}
+	if !t.txn.active {
+		panic("core: debug: " + op + " outside TxStart/TxCommit")
+	}
+}
+
+// debugCheckValue extends the val layout's encodability check to every
+// layout, catching values that would corrupt meta-data if the engine
+// were reconfigured.
+func (t *Thr) debugCheckValue(v Value) {
+	if t.e.cfg.Debug {
+		checkEncodable(v)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import "testing"
+
+func debugEngine() *Engine {
+	return New(Config{Layout: LayoutTVar, Debug: true})
+}
+
+func mustPanicWith(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		if msg, ok := r.(string); !ok || !contains(msg, substr) {
+			t.Fatalf("panic %v does not mention %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDebugDisjointnessRWAfterRO(t *testing.T) {
+	e := debugEngine()
+	thr := e.Register()
+	a := e.NewVar(iv(1))
+	thr.RORead1(a)
+	mustPanicWith(t, "disjoint", func() { thr.RWRead1(a) })
+	thr.ShortDiscard()
+}
+
+func TestDebugDisjointnessROAfterRW(t *testing.T) {
+	e := debugEngine()
+	thr := e.Register()
+	a, b := e.NewVar(iv(1)), e.NewVar(iv(2))
+	// Build a combined record legally, then violate disjointness with a
+	// later RO index.
+	thr.RORead1(b)
+	thr.RWRead1(a)
+	mustPanicWith(t, "disjoint", func() { thr.RORead2(a) })
+	thr.ShortDiscard()
+}
+
+func TestDebugDuplicateRWLocation(t *testing.T) {
+	e := debugEngine()
+	thr := e.Register()
+	a := e.NewVar(iv(1))
+	thr.RWRead1(a)
+	mustPanicWith(t, "distinct", func() { thr.RWRead2(a) })
+	thr.ShortDiscard()
+}
+
+func TestDebugDuplicateROLocation(t *testing.T) {
+	e := debugEngine()
+	thr := e.Register()
+	a := e.NewVar(iv(1))
+	thr.RORead1(a)
+	mustPanicWith(t, "duplicate", func() { thr.RORead2(a) })
+	thr.ShortDiscard()
+}
+
+func TestDebugTxStartWithHeldLocks(t *testing.T) {
+	e := debugEngine()
+	thr := e.Register()
+	a := e.NewVar(iv(1))
+	thr.RWRead1(a)
+	mustPanicWith(t, "holds locks", func() { thr.TxStart() })
+	thr.ShortDiscard()
+}
+
+func TestDebugTxOpsOutsideTxn(t *testing.T) {
+	e := debugEngine()
+	thr := e.Register()
+	a := e.NewVar(iv(1))
+	mustPanicWith(t, "outside", func() { thr.TxRead(a) })
+	mustPanicWith(t, "outside", func() { thr.TxWrite(a, iv(2)) })
+}
+
+func TestDebugValueCheckOnVersionedLayouts(t *testing.T) {
+	e := debugEngine()
+	thr := e.Register()
+	a := e.NewVar(iv(1))
+	thr.TxStart()
+	mustPanicWith(t, "lock bit", func() { thr.TxWrite(a, Value(1)) })
+	thr.TxAbort()
+}
+
+// TestDebugAllowsLegalPrograms runs the normal flows under Debug to make
+// sure the checks have no false positives.
+func TestDebugAllowsLegalPrograms(t *testing.T) {
+	for _, cfg := range []Config{
+		{Layout: LayoutOrec, Debug: true},
+		{Layout: LayoutTVar, Debug: true},
+		{Layout: LayoutVal, Debug: true},
+	} {
+		e := New(cfg)
+		thr := e.Register()
+		a, b := e.NewVar(iv(1)), e.NewVar(iv(2))
+		// Short RW.
+		x := thr.RWRead1(a)
+		thr.RWRead2(b)
+		if !thr.RWValid2() {
+			t.Fatal("legal RW flagged")
+		}
+		thr.RWCommit2(iv(x.Uint()+1), iv(9))
+		// Combined.
+		thr.RORead1(a)
+		thr.RWRead1(b)
+		if !thr.CommitRO1RW1(iv(10)) {
+			t.Fatal("legal combined flagged")
+		}
+		// Upgrade.
+		thr.RORead1(a)
+		thr.RORead2(b)
+		if !thr.UpgradeRO1ToRW1() || !thr.CommitRO2RW1(iv(5)) {
+			t.Fatal("legal upgrade flagged")
+		}
+		// Full transaction.
+		ok := thr.Atomic(func() bool {
+			v := thr.TxRead(a)
+			thr.TxWrite(a, iv(v.Uint()+1))
+			return true
+		})
+		if !ok {
+			t.Fatal("legal full txn flagged")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// The numbered short-transaction API, mirroring Figure 2 of the paper.
+// The paper's point is that access indices are static, supplied by the
+// program rather than tracked by the STM ("there is no need to track
+// operation indices, as they are provided statically by the program"), so
+// each index gets its own function, exactly as in the C API:
+//
+//	Tx_RW_R1..R4          -> RWRead1..RWRead4
+//	Tx_RW_n_Is_Valid      -> RWValid1..RWValid4
+//	Tx_RW_n_Commit        -> RWCommit1..RWCommit4
+//	Tx_RW_n_Abort         -> RWAbort1..RWAbort4
+//	Tx_RO_R1..R4          -> RORead1..RORead4
+//	Tx_RO_n_Is_Valid      -> ROValid1..ROValid4
+//	Tx_RO_x_RW_y_Commit   -> CommitRO1RW1, CommitRO1RW2, ...
+//	Tx_Upgrade_RO_x_To_RW_y -> UpgradeRO1ToRW1, ...
+package core
+
+// RWRead1 starts a short read-write transaction and reads (locking) its
+// first location.
+func (t *Thr) RWRead1(v Var) Value { return t.shortRWRead(0, v) }
+
+// RWRead2 reads (locking) the second location of a short RW transaction.
+func (t *Thr) RWRead2(v Var) Value { return t.shortRWRead(1, v) }
+
+// RWRead3 reads (locking) the third location of a short RW transaction.
+func (t *Thr) RWRead3(v Var) Value { return t.shortRWRead(2, v) }
+
+// RWRead4 reads (locking) the fourth location of a short RW transaction.
+func (t *Thr) RWRead4(v Var) Value { return t.shortRWRead(3, v) }
+
+// RWValid1 reports whether a 1-location RW transaction is still valid.
+// An invalid record has already released its locks; restart it.
+func (t *Thr) RWValid1() bool { return t.shortRWValid(1) }
+
+// RWValid2 reports whether a 2-location RW transaction is still valid.
+func (t *Thr) RWValid2() bool { return t.shortRWValid(2) }
+
+// RWValid3 reports whether a 3-location RW transaction is still valid.
+func (t *Thr) RWValid3() bool { return t.shortRWValid(3) }
+
+// RWValid4 reports whether a 4-location RW transaction is still valid.
+func (t *Thr) RWValid4() bool { return t.shortRWValid(4) }
+
+// RWCommit1 commits a 1-location RW transaction, storing v1.
+func (t *Thr) RWCommit1(v1 Value) { t.shortRWCommit(1, []Value{v1}) }
+
+// RWCommit2 commits a 2-location RW transaction, storing v1 and v2 in
+// access order.
+func (t *Thr) RWCommit2(v1, v2 Value) { t.shortRWCommit(2, []Value{v1, v2}) }
+
+// RWCommit3 commits a 3-location RW transaction.
+func (t *Thr) RWCommit3(v1, v2, v3 Value) { t.shortRWCommit(3, []Value{v1, v2, v3}) }
+
+// RWCommit4 commits a 4-location RW transaction.
+func (t *Thr) RWCommit4(v1, v2, v3, v4 Value) { t.shortRWCommit(4, []Value{v1, v2, v3, v4}) }
+
+// RWAbort1 abandons a 1-location RW transaction, restoring the location.
+func (t *Thr) RWAbort1() { t.shortRWAbort(1) }
+
+// RWAbort2 abandons a 2-location RW transaction.
+func (t *Thr) RWAbort2() { t.shortRWAbort(2) }
+
+// RWAbort3 abandons a 3-location RW transaction.
+func (t *Thr) RWAbort3() { t.shortRWAbort(3) }
+
+// RWAbort4 abandons a 4-location RW transaction.
+func (t *Thr) RWAbort4() { t.shortRWAbort(4) }
+
+// RORead1 starts a short read-only transaction and reads its first
+// location (invisibly).
+func (t *Thr) RORead1(v Var) Value { return t.shortRORead(0, v) }
+
+// RORead2 reads the second location of a short RO transaction.
+func (t *Thr) RORead2(v Var) Value { return t.shortRORead(1, v) }
+
+// RORead3 reads the third location of a short RO transaction.
+func (t *Thr) RORead3(v Var) Value { return t.shortRORead(2, v) }
+
+// RORead4 reads the fourth location of a short RO transaction.
+func (t *Thr) RORead4(v Var) Value { return t.shortRORead(3, v) }
+
+// ROValid1 validates a 1-location RO transaction. Successful validation
+// serves in place of commit (§2.2).
+func (t *Thr) ROValid1() bool { return t.shortROValid(1) }
+
+// ROValid2 validates a 2-location RO transaction.
+func (t *Thr) ROValid2() bool { return t.shortROValid(2) }
+
+// ROValid3 validates a 3-location RO transaction.
+func (t *Thr) ROValid3() bool { return t.shortROValid(3) }
+
+// ROValid4 validates a 4-location RO transaction.
+func (t *Thr) ROValid4() bool { return t.shortROValid(4) }
+
+// UpgradeRO1ToRW1 promotes the transaction's first read to its first
+// write. False means the location changed; the record is invalid.
+func (t *Thr) UpgradeRO1ToRW1() bool { return t.shortUpgrade(0, 0) }
+
+// UpgradeRO2ToRW1 promotes the second read to the first write.
+func (t *Thr) UpgradeRO2ToRW1() bool { return t.shortUpgrade(1, 0) }
+
+// UpgradeRO1ToRW2 promotes the first read to the second write.
+func (t *Thr) UpgradeRO1ToRW2() bool { return t.shortUpgrade(0, 1) }
+
+// UpgradeRO2ToRW2 promotes the second read to the second write.
+func (t *Thr) UpgradeRO2ToRW2() bool { return t.shortUpgrade(1, 1) }
+
+// UpgradeRO3ToRW1 promotes the third read to the first write.
+func (t *Thr) UpgradeRO3ToRW1() bool { return t.shortUpgrade(2, 0) }
+
+// UpgradeRO3ToRW2 promotes the third read to the second write.
+func (t *Thr) UpgradeRO3ToRW2() bool { return t.shortUpgrade(2, 1) }
+
+// CommitRO1RW1 commits a combined transaction with 1 read-only and 1
+// written location, storing v1. False releases everything; restart.
+func (t *Thr) CommitRO1RW1(v1 Value) bool { return t.shortCommitRORW(1, 1, []Value{v1}) }
+
+// CommitRO1RW2 commits a combined transaction with 1 read-only and 2
+// written locations.
+func (t *Thr) CommitRO1RW2(v1, v2 Value) bool { return t.shortCommitRORW(1, 2, []Value{v1, v2}) }
+
+// CommitRO1RW3 commits a combined transaction with 1 read-only and 3
+// written locations.
+func (t *Thr) CommitRO1RW3(v1, v2, v3 Value) bool {
+	return t.shortCommitRORW(1, 3, []Value{v1, v2, v3})
+}
+
+// CommitRO2RW1 commits a combined transaction with 2 read-only and 1
+// written location (the shape of the paper's DCSS example).
+func (t *Thr) CommitRO2RW1(v1 Value) bool { return t.shortCommitRORW(2, 1, []Value{v1}) }
+
+// CommitRO2RW2 commits a combined transaction with 2 read-only and 2
+// written locations.
+func (t *Thr) CommitRO2RW2(v1, v2 Value) bool { return t.shortCommitRORW(2, 2, []Value{v1, v2}) }
+
+// CommitRO3RW1 commits a combined transaction with 3 read-only and 1
+// written location.
+func (t *Thr) CommitRO3RW1(v1 Value) bool { return t.shortCommitRORW(3, 1, []Value{v1}) }
+
+// CommitRO4RW1 commits a combined transaction with 4 read-only locations
+// of which the first has been upgraded to the single written location
+// (the shape of a 4-location KCSS).
+func (t *Thr) CommitRO4RW1(v1 Value) bool { return t.shortCommitRORW(4, 1, []Value{v1}) }

@@ -1,0 +1,242 @@
+// Package deque implements the paper's §2 running example: a bounded
+// double-ended queue over a circular array, written once against the
+// traditional full-transaction interface (§2.1) and once against the
+// specialized short-transaction interface (§2.2). Both flavors can be
+// attached to the same storage simultaneously — short and ordinary
+// transactions share meta-data, so operations through either flavor
+// compose correctly.
+//
+// Slots hold word.Null when empty; queued values must be non-null
+// (exactly the paper's "queue elements must be non-NULL" convention).
+package deque
+
+import (
+	"fmt"
+
+	"spectm/internal/core"
+	"spectm/internal/word"
+)
+
+// identity tags for orec hashing of the deque's cells.
+const (
+	idLeft  = uint64(1) << 50
+	idRight = idLeft + 1
+	idItems = uint64(1) << 51
+)
+
+// D is the shared storage: the item array plus the two index words.
+type D struct {
+	e     *core.Engine
+	items []core.Cell
+	left  core.Cell
+	right core.Cell
+	size  uint64
+}
+
+// New creates an empty deque with the given capacity (≥ 2) on engine e.
+func New(e *core.Engine, capacity int) *D {
+	if capacity < 2 {
+		panic("deque: capacity must be at least 2")
+	}
+	d := &D{e: e, items: make([]core.Cell, capacity), size: uint64(capacity)}
+	for i := range d.items {
+		d.items[i].Init(word.Null)
+	}
+	d.left.Init(word.FromUint(0))
+	d.right.Init(word.FromUint(0))
+	return d
+}
+
+func (d *D) leftVar() core.Var  { return d.e.VarOf(&d.left, idLeft) }
+func (d *D) rightVar() core.Var { return d.e.VarOf(&d.right, idRight) }
+func (d *D) itemVar(i uint64) core.Var {
+	return d.e.VarOf(&d.items[i%d.size], idItems+i%d.size)
+}
+
+// checkValue rejects null payloads, which would be indistinguishable
+// from empty slots.
+func checkValue(v word.Value) {
+	if v.IsNull() {
+		panic(fmt.Sprintf("deque: cannot enqueue the null value %#x", uint64(v)))
+	}
+}
+
+// Short is the SpecTM flavor: every operation is one short read-write
+// transaction on two locations (an index word and an item slot).
+type Short struct {
+	d *D
+	t *core.Thr
+}
+
+// NewShort attaches a short-transaction accessor for thread t.
+func (d *D) NewShort(t *core.Thr) *Short { return &Short{d: d, t: t} }
+
+// PopLeft removes and returns the leftmost item; false when empty.
+// This is the paper's §2.2 PopLeft, verbatim in Go.
+func (s *Short) PopLeft() (word.Value, bool) {
+	for attempt := 1; ; attempt++ {
+		li := s.t.RWRead1(s.d.leftVar()).Uint()
+		result := s.t.RWRead2(s.d.itemVar(li))
+		if !s.t.RWValid2() {
+			s.t.Backoff(attempt)
+			continue
+		}
+		if result.IsNull() {
+			s.t.RWAbort2()
+			return word.Null, false
+		}
+		s.t.RWCommit2(word.FromUint((li+1)%s.d.size), word.Null)
+		return result, true
+	}
+}
+
+// PushLeft inserts v at the left end; false when full.
+func (s *Short) PushLeft(v word.Value) bool {
+	checkValue(v)
+	for attempt := 1; ; attempt++ {
+		li := s.t.RWRead1(s.d.leftVar()).Uint()
+		slot := (li + s.d.size - 1) % s.d.size
+		cur := s.t.RWRead2(s.d.itemVar(slot))
+		if !s.t.RWValid2() {
+			s.t.Backoff(attempt)
+			continue
+		}
+		if !cur.IsNull() {
+			s.t.RWAbort2()
+			return false
+		}
+		s.t.RWCommit2(word.FromUint(slot), v)
+		return true
+	}
+}
+
+// PopRight removes and returns the rightmost item; false when empty.
+func (s *Short) PopRight() (word.Value, bool) {
+	for attempt := 1; ; attempt++ {
+		ri := s.t.RWRead1(s.d.rightVar()).Uint()
+		slot := (ri + s.d.size - 1) % s.d.size
+		result := s.t.RWRead2(s.d.itemVar(slot))
+		if !s.t.RWValid2() {
+			s.t.Backoff(attempt)
+			continue
+		}
+		if result.IsNull() {
+			s.t.RWAbort2()
+			return word.Null, false
+		}
+		s.t.RWCommit2(word.FromUint(slot), word.Null)
+		return result, true
+	}
+}
+
+// PushRight inserts v at the right end; false when full.
+func (s *Short) PushRight(v word.Value) bool {
+	checkValue(v)
+	for attempt := 1; ; attempt++ {
+		ri := s.t.RWRead1(s.d.rightVar()).Uint()
+		cur := s.t.RWRead2(s.d.itemVar(ri))
+		if !s.t.RWValid2() {
+			s.t.Backoff(attempt)
+			continue
+		}
+		if !cur.IsNull() {
+			s.t.RWAbort2()
+			return false
+		}
+		s.t.RWCommit2(word.FromUint((ri+1)%s.d.size), v)
+		return true
+	}
+}
+
+// Full is the traditional-interface flavor (§2.1): each operation is an
+// ordinary transaction.
+type Full struct {
+	d *D
+	t *core.Thr
+}
+
+// NewFull attaches a full-transaction accessor for thread t.
+func (d *D) NewFull(t *core.Thr) *Full { return &Full{d: d, t: t} }
+
+// PopLeft removes and returns the leftmost item; false when empty.
+// This is the paper's §2.1 PopLeft, verbatim in Go.
+func (f *Full) PopLeft() (word.Value, bool) {
+	var result word.Value
+	f.t.Atomic(func() bool {
+		result = word.Null
+		li := f.t.TxRead(f.d.leftVar()).Uint()
+		result = f.t.TxRead(f.d.itemVar(li))
+		if !f.t.TxOK() {
+			return true
+		}
+		if !result.IsNull() {
+			f.t.TxWrite(f.d.itemVar(li), word.Null)
+			f.t.TxWrite(f.d.leftVar(), word.FromUint((li+1)%f.d.size))
+		}
+		return true
+	})
+	return result, !result.IsNull()
+}
+
+// PushLeft inserts v at the left end; false when full.
+func (f *Full) PushLeft(v word.Value) bool {
+	checkValue(v)
+	var ok bool
+	f.t.Atomic(func() bool {
+		ok = false
+		li := f.t.TxRead(f.d.leftVar()).Uint()
+		slot := (li + f.d.size - 1) % f.d.size
+		cur := f.t.TxRead(f.d.itemVar(slot))
+		if !f.t.TxOK() {
+			return true
+		}
+		if cur.IsNull() {
+			f.t.TxWrite(f.d.itemVar(slot), v)
+			f.t.TxWrite(f.d.leftVar(), word.FromUint(slot))
+			ok = true
+		}
+		return true
+	})
+	return ok
+}
+
+// PopRight removes and returns the rightmost item; false when empty.
+func (f *Full) PopRight() (word.Value, bool) {
+	var result word.Value
+	f.t.Atomic(func() bool {
+		result = word.Null
+		ri := f.t.TxRead(f.d.rightVar()).Uint()
+		slot := (ri + f.d.size - 1) % f.d.size
+		result = f.t.TxRead(f.d.itemVar(slot))
+		if !f.t.TxOK() {
+			return true
+		}
+		if !result.IsNull() {
+			f.t.TxWrite(f.d.itemVar(slot), word.Null)
+			f.t.TxWrite(f.d.rightVar(), word.FromUint(slot))
+		}
+		return true
+	})
+	return result, !result.IsNull()
+}
+
+// PushRight inserts v at the right end; false when full.
+func (f *Full) PushRight(v word.Value) bool {
+	checkValue(v)
+	var ok bool
+	f.t.Atomic(func() bool {
+		ok = false
+		ri := f.t.TxRead(f.d.rightVar()).Uint()
+		cur := f.t.TxRead(f.d.itemVar(ri))
+		if !f.t.TxOK() {
+			return true
+		}
+		if cur.IsNull() {
+			f.t.TxWrite(f.d.itemVar(ri), v)
+			f.t.TxWrite(f.d.rightVar(), word.FromUint((ri+1)%f.d.size))
+			ok = true
+		}
+		return true
+	})
+	return ok
+}

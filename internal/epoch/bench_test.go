@@ -1,0 +1,32 @@
+package epoch
+
+import (
+	"testing"
+
+	"spectm/internal/arena"
+)
+
+func BenchmarkEnterExit(b *testing.B) {
+	d := NewDomain(4)
+	s := d.Register()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Enter()
+		s.Exit()
+	}
+}
+
+func BenchmarkRetireReclaim(b *testing.B) {
+	a := arena.New[obj]()
+	d := NewDomain(4)
+	s := d.Register()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Enter()
+		h, _ := a.Alloc()
+		s.Retire(a, uint64(h))
+		s.Exit()
+	}
+	b.StopTimer()
+	s.Flush()
+}

@@ -1,0 +1,179 @@
+// Package epoch implements Fraser-style epoch-based memory reclamation,
+// the memory-management scheme used by every concurrent structure in the
+// paper ("All the implementations use epoch based memory management, also
+// following Fraser's design", §2).
+//
+// Protocol: a thread wraps every operation that may dereference shared
+// handles in Enter/Exit. Memory is retired (not freed) after it has been
+// unlinked from the structure; a retired slot is reclaimed only once the
+// global epoch has advanced twice past the retiring epoch, which implies
+// every thread active at retire time has since exited its critical
+// section. Limbo lists are per-thread, so Retire is allocation-amortized
+// and lock-free; only the epoch advance does a scan over thread states.
+package epoch
+
+import (
+	"sync/atomic"
+
+	"spectm/internal/pad"
+)
+
+// Resource frees retired handles. *arena.Arena[T] implements it.
+type Resource interface {
+	Reclaim(h uint64)
+}
+
+// advanceEvery is how many Retire calls a slot performs between attempts
+// to advance the global epoch.
+const advanceEvery = 64
+
+// Domain is a reclamation domain shared by a set of threads.
+type Domain struct {
+	epoch pad.U64
+	slots []threadState
+	n     atomic.Int32
+}
+
+// threadState is one thread's published epoch: epoch<<1 | active, padded
+// onto its own cache lines.
+type threadState struct {
+	_ [pad.CacheLine - 8]byte
+	w atomic.Uint64
+	_ [pad.CacheLine]byte
+}
+
+// NewDomain creates a domain supporting up to maxThreads registered slots.
+func NewDomain(maxThreads int) *Domain {
+	return &Domain{slots: make([]threadState, maxThreads)}
+}
+
+// Epoch returns the current global epoch (for tests and stats).
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+// Register binds a new thread slot. It panics when maxThreads is exceeded.
+func (d *Domain) Register() *Slot {
+	i := int(d.n.Add(1)) - 1
+	if i >= len(d.slots) {
+		panic("epoch: too many registered threads")
+	}
+	return &Slot{d: d, idx: i}
+}
+
+// Slot is a single thread's handle on the domain. Not safe for concurrent
+// use by multiple goroutines.
+type Slot struct {
+	d        *Domain
+	idx      int
+	lastSeen uint64       // epoch at which limbo bookkeeping is current
+	limbo    [3][]retired // limbo[e%3] holds entries retired in epoch e
+	retires  int
+	pinned   bool
+
+	// Reclaimed counts slots actually freed through this Slot (stats).
+	Reclaimed uint64
+}
+
+type retired struct {
+	r Resource
+	h uint64
+}
+
+// Enter pins the current epoch; the thread may dereference shared handles
+// until Exit. Entries retired while pinned are reclaimable only after the
+// thread exits.
+func (s *Slot) Enter() {
+	if s.pinned {
+		panic("epoch: nested Enter")
+	}
+	s.pinned = true
+	g := s.d.epoch.Load()
+	s.d.slots[s.idx].w.Store(g<<1 | 1)
+	s.catchUp(g)
+}
+
+// Exit unpins the thread.
+func (s *Slot) Exit() {
+	if !s.pinned {
+		panic("epoch: Exit without Enter")
+	}
+	s.pinned = false
+	s.d.slots[s.idx].w.Store(s.lastSeen << 1) // inactive
+}
+
+// Retire hands a handle to the domain for deferred reclamation. The
+// handle must already be unreachable from the shared structure (unlinked
+// before Retire is called).
+func (s *Slot) Retire(r Resource, h uint64) {
+	g := s.d.epoch.Load()
+	s.catchUp(g)
+	s.limbo[g%3] = append(s.limbo[g%3], retired{r, h})
+	s.retires++
+	if s.retires%advanceEvery == 0 {
+		s.tryAdvance()
+	}
+}
+
+// Flush aggressively tries to advance the epoch and reclaim everything in
+// this slot's limbo lists. Intended for shutdown and tests; it only
+// succeeds when no other thread is pinned in an older epoch.
+// It must not be called while the slot itself is pinned.
+func (s *Slot) Flush() {
+	if s.pinned {
+		panic("epoch: Flush while pinned")
+	}
+	for i := 0; i < 4; i++ {
+		s.tryAdvance()
+		s.catchUp(s.d.epoch.Load())
+	}
+}
+
+// Pending returns the number of retired-but-not-reclaimed entries held by
+// this slot.
+func (s *Slot) Pending() int {
+	return len(s.limbo[0]) + len(s.limbo[1]) + len(s.limbo[2])
+}
+
+// catchUp reclaims every limbo bucket whose entries are at least two
+// epochs old with respect to g, then records g as seen.
+func (s *Slot) catchUp(g uint64) {
+	if g == s.lastSeen {
+		return
+	}
+	for b := uint64(0); b < 3; b++ {
+		if len(s.limbo[b]) == 0 {
+			continue
+		}
+		// Entries in bucket b were retired at the most recent epoch
+		// e <= lastSeen with e ≡ b (mod 3).
+		e := mostRecentCongruent(s.lastSeen, b)
+		if e+2 <= g {
+			for _, it := range s.limbo[b] {
+				it.r.Reclaim(it.h)
+				s.Reclaimed++
+			}
+			s.limbo[b] = s.limbo[b][:0]
+		}
+	}
+	s.lastSeen = g
+}
+
+// mostRecentCongruent returns the largest e <= n with e ≡ b (mod 3).
+func mostRecentCongruent(n, b uint64) uint64 {
+	d := (n + 3 - b) % 3
+	return n - d
+}
+
+// tryAdvance bumps the global epoch if every pinned thread has observed
+// the current one.
+func (s *Slot) tryAdvance() {
+	d := s.d
+	g := d.epoch.Load()
+	n := int(d.n.Load())
+	for i := 0; i < n; i++ {
+		w := d.slots[i].w.Load()
+		if w&1 == 1 && w>>1 != g {
+			return // a pinned thread lags behind
+		}
+	}
+	d.epoch.CompareAndSwap(g, g+1)
+}

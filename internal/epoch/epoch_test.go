@@ -1,0 +1,213 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spectm/internal/arena"
+)
+
+type obj struct{ v uint64 }
+
+func TestMostRecentCongruent(t *testing.T) {
+	cases := []struct{ n, b, want uint64 }{
+		{5, 2, 5}, {5, 1, 4}, {5, 0, 3},
+		{6, 0, 6}, {6, 2, 5}, {6, 1, 4},
+		{2, 2, 2}, {2, 0, 0}, {2, 1, 1},
+	}
+	for _, c := range cases {
+		if got := mostRecentCongruent(c.n, c.b); got != c.want {
+			t.Fatalf("mostRecentCongruent(%d,%d) = %d, want %d", c.n, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRetireReclaimSingleThread(t *testing.T) {
+	a := arena.New[obj]()
+	d := NewDomain(2)
+	s := d.Register()
+
+	s.Enter()
+	h, _ := a.Alloc()
+	s.Exit()
+
+	s.Enter()
+	s.Retire(a, uint64(h))
+	s.Exit()
+	if a.Live() != 1 {
+		t.Fatal("retire must not free immediately")
+	}
+	s.Flush()
+	if a.Live() != 0 {
+		t.Fatalf("Live = %d after Flush, want 0", a.Live())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after Flush", s.Pending())
+	}
+	if s.Reclaimed != 1 {
+		t.Fatalf("Reclaimed = %d, want 1", s.Reclaimed)
+	}
+}
+
+func TestPinnedReaderBlocksReclamation(t *testing.T) {
+	a := arena.New[obj]()
+	d := NewDomain(4)
+	reader := d.Register()
+	writer := d.Register()
+
+	h, p := a.Alloc()
+	p.v = 42
+
+	reader.Enter() // reader is inside its critical section
+
+	writer.Enter()
+	writer.Retire(a, uint64(h))
+	writer.Exit()
+	writer.Flush()
+	writer.Flush()
+
+	if a.Live() != 1 {
+		t.Fatal("slot reclaimed while a reader was pinned")
+	}
+	if a.Get(h).v != 42 {
+		t.Fatal("pinned reader must still see the object")
+	}
+
+	reader.Exit()
+	writer.Flush()
+	if a.Live() != 0 {
+		t.Fatalf("Live = %d after reader exit + flush, want 0", a.Live())
+	}
+}
+
+func TestEpochAdvances(t *testing.T) {
+	d := NewDomain(2)
+	s := d.Register()
+	start := d.Epoch()
+	for i := 0; i < 10; i++ {
+		s.Flush()
+	}
+	if d.Epoch() <= start {
+		t.Fatal("epoch never advanced with no pinned threads")
+	}
+}
+
+func TestNestedEnterPanics(t *testing.T) {
+	d := NewDomain(1)
+	s := d.Register()
+	s.Enter()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested Enter must panic")
+		}
+	}()
+	s.Enter()
+}
+
+func TestExitWithoutEnterPanics(t *testing.T) {
+	d := NewDomain(1)
+	s := d.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exit without Enter must panic")
+		}
+	}()
+	s.Exit()
+}
+
+// TestConcurrentUseAfterFreeSafety runs readers that repeatedly resolve a
+// published handle inside a critical section while a writer swaps and
+// retires it. The arena's generation check (via panic on stale Free) and
+// the value invariant detect premature reclamation.
+func TestConcurrentUseAfterFreeSafety(t *testing.T) {
+	a := arena.New[obj]()
+	d := NewDomain(8)
+
+	var current atomic.Uint64 // live handle, readable by everyone
+
+	wslot := d.Register()
+	h, p := a.Alloc()
+	p.v = uint64(h)
+	current.Store(uint64(h))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var violations atomic.Int64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := d.Register()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Enter()
+				hh := arena.Handle(current.Load())
+				if got := a.Get(hh).v; got != uint64(hh) {
+					// Slot was recycled while we were pinned: the
+					// writer zeroes and re-tags recycled slots.
+					violations.Add(1)
+				}
+				s.Exit()
+			}
+		}()
+	}
+
+	for i := 0; i < 3000; i++ {
+		wslot.Enter()
+		nh, np := a.Alloc()
+		np.v = uint64(nh)
+		old := arena.Handle(current.Swap(uint64(nh)))
+		wslot.Retire(a, uint64(old))
+		wslot.Exit()
+	}
+	close(stop)
+	wg.Wait()
+	wslot.Flush()
+
+	if violations.Load() != 0 {
+		t.Fatalf("%d reads observed recycled memory inside a critical section", violations.Load())
+	}
+	if a.Live() == 0 {
+		t.Fatal("final object must still be live")
+	}
+}
+
+func TestReclamationEventuallyHappensUnderChurn(t *testing.T) {
+	a := arena.New[obj]()
+	d := NewDomain(4)
+	var wg sync.WaitGroup
+	slots := make(chan *Slot, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := d.Register()
+			for i := 0; i < 5000; i++ {
+				s.Enter()
+				h, _ := a.Alloc()
+				s.Retire(a, uint64(h))
+				s.Exit()
+			}
+			slots <- s
+		}()
+	}
+	wg.Wait()
+	close(slots)
+	// All workers are quiescent; flushing each slot must drain every
+	// limbo list (the goroutines are done, so touching their slots from
+	// here does not race).
+	for s := range slots {
+		s.Flush()
+	}
+	if a.Live() != 0 {
+		t.Fatalf("reclamation stalled: %d slots still live", a.Live())
+	}
+	if got := d.Epoch(); got == 0 {
+		t.Fatalf("epoch never advanced (still %d)", got)
+	}
+}

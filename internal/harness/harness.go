@@ -1,0 +1,150 @@
+// Package harness runs the paper's integer-set workloads (§4.4):
+// threads perform a random mix of lookups, insertions and removals over
+// keys drawn uniformly from a range; the set starts half full; insert
+// and remove rates are equal so the size stays roughly constant.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spectm/internal/core"
+	"spectm/internal/intset"
+	"spectm/internal/rng"
+)
+
+// Workload describes one experiment point.
+type Workload struct {
+	Structure string        // "hash" or "skip"
+	Variant   string        // intset variant name
+	Buckets   int           // hash only (default 16384)
+	KeyRange  uint64        // default 65536 (the paper's 0–65535)
+	LookupPct int           // 0..100; the rest splits evenly into add/remove
+	Threads   int           // concurrent workers
+	Duration  time.Duration // measurement time
+	Seed      uint64        // workload seed
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.Buckets == 0 {
+		w.Buckets = 16384
+	}
+	if w.KeyRange == 0 {
+		w.KeyRange = 65536
+	}
+	if w.Threads == 0 {
+		w.Threads = 1
+	}
+	if w.Duration == 0 {
+		w.Duration = time.Second
+	}
+	if w.Seed == 0 {
+		w.Seed = 0xC0FFEE
+	}
+	return w
+}
+
+// Result reports one experiment point.
+type Result struct {
+	Workload  Workload
+	Ops       uint64
+	Elapsed   time.Duration
+	OpsPerSec float64
+	Stats     core.Stats // aggregate over STM threads (zero otherwise)
+}
+
+// thrStats is implemented by STM-backed set threads.
+type thrStats interface {
+	Thr() *core.Thr
+}
+
+// Run executes the workload and reports throughput.
+func Run(w Workload) (Result, error) {
+	w = w.withDefaults()
+	if w.Variant == "sequential" && w.Threads != 1 {
+		return Result{}, fmt.Errorf("harness: sequential variant requires exactly 1 thread")
+	}
+	set, err := intset.New(intset.Config{
+		Structure:  w.Structure,
+		Variant:    w.Variant,
+		Buckets:    w.Buckets,
+		MaxThreads: w.Threads + 2,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Initialization: insert random keys until the set holds half the
+	// key range (§4.4 "the set is initialized by inserting half of the
+	// elements from the key range").
+	init := set.NewThread()
+	r := rng.New(w.Seed)
+	for inserted := uint64(0); inserted < w.KeyRange/2; {
+		if init.Add(r.Intn(w.KeyRange)) {
+			inserted++
+		}
+	}
+
+	insertPct := (100 - w.LookupPct) / 2
+	var stop atomic.Bool
+	counts := make([]uint64, w.Threads)
+	stats := make([]core.Stats, w.Threads)
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+
+	for i := 0; i < w.Threads; i++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			var th intset.Thread
+			if w.Threads == 1 && w.Variant == "sequential" {
+				th = init // sequential sets share the underlying structure anyway
+			} else {
+				th = set.NewThread()
+			}
+			wr := rng.New(w.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+			ready.Done()
+			<-start
+			var ops uint64
+			for !stop.Load() {
+				// Batch the stop check to keep the loop tight.
+				for k := 0; k < 64; k++ {
+					key := wr.Intn(w.KeyRange)
+					pick := int(wr.Intn(100))
+					switch {
+					case pick < w.LookupPct:
+						th.Contains(key)
+					case pick < w.LookupPct+insertPct:
+						th.Add(key)
+					default:
+						th.Remove(key)
+					}
+					ops++
+				}
+			}
+			counts[id] = ops
+			if st, ok := th.(thrStats); ok && st.Thr() != nil {
+				stats[id] = st.Thr().Stats
+			}
+		}(i)
+	}
+
+	ready.Wait()
+	begin := time.Now()
+	close(start)
+	time.Sleep(w.Duration)
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(begin)
+
+	res := Result{Workload: w, Elapsed: elapsed}
+	for i := range counts {
+		res.Ops += counts[i]
+		res.Stats.Add(stats[i])
+	}
+	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	return res, nil
+}

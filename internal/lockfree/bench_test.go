@@ -1,0 +1,88 @@
+package lockfree
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"spectm/internal/rng"
+)
+
+// Baseline costs of the CAS structures, for comparison against the core
+// package's short-transaction benchmarks.
+
+func BenchmarkHashContains(b *testing.B) {
+	h := NewHash(1024, 8)
+	s := h.Register()
+	for k := uint64(0); k < 2048; k += 2 {
+		h.Add(s, k)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Contains(s, r.Intn(2048))
+	}
+}
+
+func BenchmarkHashMixedParallel(b *testing.B) {
+	h := NewHash(1024, 32)
+	init := h.Register()
+	for k := uint64(0); k < 2048; k += 2 {
+		h.Add(init, k)
+	}
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s := h.Register()
+		r := rng.New(seed.Add(1))
+		for pb.Next() {
+			k := r.Intn(2048)
+			switch r.Intn(10) {
+			case 0:
+				h.Add(s, k)
+			case 1:
+				h.Remove(s, k)
+			default:
+				h.Contains(s, k)
+			}
+		}
+	})
+}
+
+func BenchmarkSkipContains(b *testing.B) {
+	sk := NewSkip(8)
+	s := sk.Register()
+	r := rng.New(2)
+	for k := uint64(0); k < 65536; k += 2 {
+		sk.Add(s, r, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Contains(s, r.Intn(65536))
+	}
+}
+
+func BenchmarkSkipMixedParallel(b *testing.B) {
+	sk := NewSkip(32)
+	init := sk.Register()
+	ir := rng.New(3)
+	for k := uint64(0); k < 65536; k += 2 {
+		sk.Add(init, ir, k)
+	}
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s := sk.Register()
+		r := rng.New(seed.Add(1)*7919 + 1)
+		for pb.Next() {
+			k := r.Intn(65536)
+			switch r.Intn(10) {
+			case 0:
+				sk.Add(s, r, k)
+			case 1:
+				sk.Remove(s, k)
+			default:
+				sk.Contains(s, k)
+			}
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package lockfree
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spectm/internal/rng"
+)
+
+// TestSkipNoDuplicates hammers a tiny key space and scans the level-0
+// chain for duplicate keys after every quiescent round.
+func TestSkipNoDuplicates(t *testing.T) {
+	for round := 0; round < 40; round++ {
+		sk := NewSkip(8)
+		var wg sync.WaitGroup
+		var adds, removes [4]atomic.Int64
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				s := sk.Register()
+				r := rng.New(seed*977 + uint64(round) + 1)
+				for i := 0; i < 2000; i++ {
+					key := r.Intn(4)
+					if r.Intn(2) == 0 {
+						if sk.Add(s, r, key) {
+							adds[key].Add(1)
+						}
+					} else {
+						if sk.Remove(s, key) {
+							removes[key].Add(1)
+						}
+					}
+				}
+			}(uint64(w))
+		}
+		wg.Wait()
+		// Quiescent scan of level 0.
+		s := sk.Register()
+		s.Enter()
+		seen := map[uint64]int{}
+		curW := atomic.LoadUint64(&sk.head.next[0])
+		for curW != 0 {
+			n := sk.a.Get(dec(curW))
+			nextW := atomic.LoadUint64(&n.next[0])
+			if !marked(nextW) {
+				seen[n.Key]++
+			}
+			curW = unmark(nextW)
+		}
+		s.Exit()
+		for k, c := range seen {
+			if c > 1 {
+				t.Fatalf("round %d: key %d appears %d times in level-0 chain", round, k, c)
+			}
+		}
+		for k := uint64(0); k < 4; k++ {
+			balance := adds[k].Load() - removes[k].Load()
+			present := seen[k] > 0
+			if balance < 0 || balance > 1 {
+				t.Fatalf("round %d: key %d balance %d (adds %d removes %d)", round, k, balance, adds[k].Load(), removes[k].Load())
+			}
+			if present != (balance == 1) {
+				t.Fatalf("round %d: key %d present=%v balance=%d", round, k, present, balance)
+			}
+		}
+	}
+}

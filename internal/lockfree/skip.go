@@ -1,0 +1,258 @@
+// Lock-free skip list following Fraser's design (the paper's baseline for
+// the skip-list experiments): towers of marked forward pointers, deletion
+// by marking every level then helping searches snip the node out.
+//
+// Reclamation note. Under garbage collection (Fraser's setting in Java
+// re-tellings, or epoch reclamation of whole traversals) a deleted node
+// may be re-linked transiently by a lagging inserter that captured it in
+// a search window before the deletion; with manual reclamation that
+// transient re-link is a use-after-free. We close the race with a
+// per-node accounting of outstanding levels: a node starts with Lvl
+// credits; each credit is consumed exactly once, either by the physical
+// unlink of that level or by the inserter abandoning the level after
+// observing the deletion mark. Whoever consumes the last credit retires
+// the node. This keeps the algorithm lock-free and makes reclamation
+// exact.
+package lockfree
+
+import (
+	"sync/atomic"
+
+	"spectm/internal/arena"
+	"spectm/internal/epoch"
+	"spectm/internal/rng"
+)
+
+// MaxLevel matches the paper's skip-list configuration ("We set the
+// maximum height of the skip list nodes to 32").
+const MaxLevel = 32
+
+// SNode is a skip-list tower.
+type SNode struct {
+	Key   uint64
+	Lvl   int32
+	links int32 // outstanding level credits; retire at 0
+	next  [MaxLevel]uint64
+}
+
+// Skip is the lock-free skip list.
+type Skip struct {
+	a    *arena.Arena[SNode]
+	dom  *epoch.Domain
+	head SNode // sentinel; next[i] are the level heads
+}
+
+// NewSkip creates an empty skip list for up to maxThreads threads.
+func NewSkip(maxThreads int) *Skip {
+	return &Skip{a: arena.New[SNode](), dom: epoch.NewDomain(maxThreads)}
+}
+
+// Register returns a per-thread epoch slot for use with this list.
+func (s *Skip) Register() *epoch.Slot { return s.dom.Register() }
+
+// unlinked consumes one level credit of n; the consumer of the last
+// credit retires the node.
+func (sk *Skip) unlinked(slot *epoch.Slot, h arena.Handle, n *SNode) {
+	c := atomic.AddInt32(&n.links, -1)
+	if c == 0 {
+		slot.Retire(sk.a, uint64(h))
+	} else if c < 0 {
+		panic("lockfree: skip-list level credit over-consumed")
+	}
+}
+
+// find locates key, filling preds (the link words per level) and succs
+// (the link values per level), snipping marked nodes on the way. It
+// returns whether an unmarked node with the key sits at level 0.
+func (sk *Skip) find(slot *epoch.Slot, key uint64, preds *[MaxLevel]*uint64, succs *[MaxLevel]uint64) bool {
+retry:
+	pred := &sk.head
+	for lvl := MaxLevel - 1; lvl >= 0; lvl-- {
+		curW := atomic.LoadUint64(&pred.next[lvl])
+		if marked(curW) {
+			// pred was deleted under us while we descended: its link
+			// words are frozen with the mark bit set. Believing this
+			// value as a CAS from-value would let a snip "succeed"
+			// against a dead predecessor and corrupt the live chain.
+			goto retry
+		}
+		for {
+			if curW == 0 {
+				break
+			}
+			cur := dec(curW)
+			n := sk.a.Get(cur)
+			nextW := atomic.LoadUint64(&n.next[lvl])
+			if marked(nextW) {
+				// n is logically deleted: snip it at this level. The
+				// winner of the CAS consumes the level credit.
+				if !atomic.CompareAndSwapUint64(&pred.next[lvl], curW, unmark(nextW)) {
+					goto retry
+				}
+				sk.unlinked(slot, cur, n)
+				curW = unmark(nextW)
+				continue
+			}
+			if n.Key < key {
+				pred = n
+				curW = nextW
+				continue
+			}
+			break
+		}
+		preds[lvl] = &pred.next[lvl]
+		succs[lvl] = curW
+	}
+	if succs[0] == 0 {
+		return false
+	}
+	return sk.a.Get(dec(succs[0])).Key == key
+}
+
+// Contains reports membership without helping (read-only traversal).
+func (sk *Skip) Contains(slot *epoch.Slot, key uint64) bool {
+	slot.Enter()
+	defer slot.Exit()
+	pred := &sk.head
+	var found *SNode
+	for lvl := MaxLevel - 1; lvl >= 0; lvl-- {
+		// A deleted pred's links are frozen but still walkable for a
+		// read-only traversal; just strip the mark.
+		curW := unmark(atomic.LoadUint64(&pred.next[lvl]))
+		for curW != 0 {
+			n := sk.a.Get(dec(curW))
+			nextW := atomic.LoadUint64(&n.next[lvl])
+			if marked(nextW) {
+				curW = unmark(nextW) // skip deleted node
+				continue
+			}
+			if n.Key < key {
+				pred = n
+				curW = nextW
+				continue
+			}
+			if n.Key == key {
+				found = n
+			}
+			break
+		}
+	}
+	return found != nil
+}
+
+// Add inserts key with a geometric random level; false if present.
+func (sk *Skip) Add(slot *epoch.Slot, r *rng.State, key uint64) bool {
+	slot.Enter()
+	defer slot.Exit()
+	var preds [MaxLevel]*uint64
+	var succs [MaxLevel]uint64
+	lvl := int32(r.Level(MaxLevel))
+	for {
+		if sk.find(slot, key, &preds, &succs) {
+			return false
+		}
+		h, n := sk.a.Alloc()
+		n.Key = key
+		n.Lvl = lvl
+		atomic.StoreInt32(&n.links, lvl)
+		for i := int32(0); i < lvl; i++ {
+			atomic.StoreUint64(&n.next[i], succs[i])
+		}
+		// Level-0 link publishes the node.
+		if !atomic.CompareAndSwapUint64(preds[0], succs[0], enc(h)) {
+			sk.a.Free(h) // never published
+			continue
+		}
+		// Link the higher levels. A concurrent deleter may mark the
+		// node at any time; abandoned levels return their credits, so
+		// reclamation always waits for this loop to account for every
+		// level.
+		for i := int32(1); i < lvl; i++ {
+			for {
+				cur := atomic.LoadUint64(&n.next[i])
+				if marked(cur) {
+					// Deleted while linking: abandon the remaining
+					// levels, returning their credits.
+					for j := i; j < lvl; j++ {
+						sk.unlinked(slot, h, n)
+					}
+					return true
+				}
+				if cur != succs[i] {
+					// Refresh this level's forward pointer. The only
+					// competing writer is a deleter setting the mark,
+					// which the next iteration detects.
+					if !atomic.CompareAndSwapUint64(&n.next[i], cur, succs[i]) {
+						continue
+					}
+				}
+				if atomic.CompareAndSwapUint64(preds[i], succs[i], enc(h)) {
+					break
+				}
+				// Lost a race at this level: recompute the window. If
+				// our node was deleted and fully snipped meanwhile, the
+				// mark check above fires on the next iteration.
+				sk.find(slot, key, &preds, &succs)
+			}
+		}
+		return true
+	}
+}
+
+// Remove deletes key; false if absent. A single atomic "winner" is
+// decided by the level-0 mark, as in Fraser's algorithm.
+func (sk *Skip) Remove(slot *epoch.Slot, key uint64) bool {
+	slot.Enter()
+	defer slot.Exit()
+	var preds [MaxLevel]*uint64
+	var succs [MaxLevel]uint64
+	for {
+		if !sk.find(slot, key, &preds, &succs) {
+			return false
+		}
+		h := dec(succs[0])
+		n := sk.a.Get(h)
+		// Mark the upper levels top-down (idempotent).
+		for lvl := n.Lvl - 1; lvl >= 1; lvl-- {
+			for {
+				w := atomic.LoadUint64(&n.next[lvl])
+				if marked(w) {
+					break
+				}
+				if atomic.CompareAndSwapUint64(&n.next[lvl], w, mark(w)) {
+					break
+				}
+			}
+		}
+		// Level 0 decides the winner.
+		for {
+			w := atomic.LoadUint64(&n.next[0])
+			if marked(w) {
+				return false // someone else deleted it first
+			}
+			if atomic.CompareAndSwapUint64(&n.next[0], w, mark(w)) {
+				// Help snip it everywhere; credits flow to the
+				// snippers, the last of which retires the node.
+				sk.find(slot, key, &preds, &succs)
+				return true
+			}
+		}
+	}
+}
+
+// Len counts live keys (tests only; not linearizable under concurrency).
+func (sk *Skip) Len(slot *epoch.Slot) int {
+	slot.Enter()
+	defer slot.Exit()
+	n := 0
+	curW := atomic.LoadUint64(&sk.head.next[0])
+	for curW != 0 {
+		nd := sk.a.Get(dec(curW))
+		nextW := atomic.LoadUint64(&nd.next[0])
+		if !marked(nextW) {
+			n++
+		}
+		curW = unmark(nextW)
+	}
+	return n
+}

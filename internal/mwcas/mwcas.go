@@ -1,0 +1,145 @@
+// Package mwcas builds classical multi-word synchronization primitives
+// over SpecTM's short transactions, demonstrating the paper's claim that
+// "it is easy to implement CASN over short transactions" (§5):
+//
+//   - DCSS — double-compare-single-swap, the paper's own §2.2 example,
+//     expressed with read-only reads, an upgrade, and a combined commit;
+//   - CAS2/CAS3/CAS4 — multi-word compare-and-swap via short RW
+//     transactions (encounter-time locking, values supplied at commit);
+//   - KCSS — k-compare-single-swap (Luchangco et al., as cited in §5)
+//     for k ≤ 4: compare k locations, swap the first.
+//
+// Unlike historical CASN designs, these compose with every other
+// transaction on the same engine because they share its meta-data.
+package mwcas
+
+import (
+	"spectm/internal/core"
+	"spectm/internal/word"
+)
+
+// DCSS checks that a1 and a2 hold o1 and o2; if so it stores n1 into a1.
+// It returns whether the swap happened. This follows the paper's DCSS
+// pseudo-code line by line.
+func DCSS(t *core.Thr, a1, a2 core.Var, o1, o2, n1 word.Value) bool {
+	for {
+		if t.RORead1(a1) == o1 && t.RORead2(a2) == o2 && t.UpgradeRO1ToRW1() {
+			if t.CommitRO2RW1(n1) {
+				return true
+			}
+		} else if t.ROValid2() {
+			return false
+		}
+		// Conflict: restart.
+	}
+}
+
+// CAS2 atomically replaces (o1,o2) with (n1,n2) at (a1,a2) when both
+// match; it returns whether the swap happened.
+func CAS2(t *core.Thr, a1, a2 core.Var, o1, o2, n1, n2 word.Value) bool {
+	for attempt := 1; ; attempt++ {
+		x1 := t.RWRead1(a1)
+		x2 := t.RWRead2(a2)
+		if !t.RWValid2() {
+			t.Backoff(attempt)
+			continue
+		}
+		if x1 != o1 || x2 != o2 {
+			t.RWAbort2()
+			return false
+		}
+		t.RWCommit2(n1, n2)
+		return true
+	}
+}
+
+// CAS3 is the 3-location analogue of CAS2.
+func CAS3(t *core.Thr, a1, a2, a3 core.Var, o1, o2, o3, n1, n2, n3 word.Value) bool {
+	for attempt := 1; ; attempt++ {
+		x1 := t.RWRead1(a1)
+		x2 := t.RWRead2(a2)
+		x3 := t.RWRead3(a3)
+		if !t.RWValid3() {
+			t.Backoff(attempt)
+			continue
+		}
+		if x1 != o1 || x2 != o2 || x3 != o3 {
+			t.RWAbort3()
+			return false
+		}
+		t.RWCommit3(n1, n2, n3)
+		return true
+	}
+}
+
+// CAS4 is the 4-location analogue of CAS2.
+func CAS4(t *core.Thr, a [4]core.Var, o, n [4]word.Value) bool {
+	for attempt := 1; ; attempt++ {
+		x0 := t.RWRead1(a[0])
+		x1 := t.RWRead2(a[1])
+		x2 := t.RWRead3(a[2])
+		x3 := t.RWRead4(a[3])
+		if !t.RWValid4() {
+			t.Backoff(attempt)
+			continue
+		}
+		if x0 != o[0] || x1 != o[1] || x2 != o[2] || x3 != o[3] {
+			t.RWAbort4()
+			return false
+		}
+		t.RWCommit4(n[0], n[1], n[2], n[3])
+		return true
+	}
+}
+
+// KCSS compares the locations addrs (2 ≤ len ≤ 4) against olds and, when
+// all match, stores n1 into addrs[0]. Only the first location is
+// written; the rest are validated read-only, so concurrent readers of
+// those locations are never blocked.
+func KCSS(t *core.Thr, addrs []core.Var, olds []word.Value, n1 word.Value) bool {
+	if len(addrs) != len(olds) || len(addrs) < 2 || len(addrs) > core.MaxShort {
+		panic("mwcas: KCSS needs 2..4 matching locations and expectations")
+	}
+	for {
+		match := true
+		x := t.RORead1(addrs[0])
+		match = match && x == olds[0]
+		if len(addrs) >= 2 {
+			match = match && t.RORead2(addrs[1]) == olds[1]
+		}
+		if len(addrs) >= 3 {
+			match = match && t.RORead3(addrs[2]) == olds[2]
+		}
+		if len(addrs) >= 4 {
+			match = match && t.RORead4(addrs[3]) == olds[3]
+		}
+		if match && t.UpgradeRO1ToRW1() {
+			var ok bool
+			switch len(addrs) {
+			case 2:
+				ok = t.CommitRO2RW1(n1)
+			case 3:
+				ok = t.CommitRO3RW1(n1)
+			default:
+				ok = t.CommitRO4RW1(n1)
+			}
+			if ok {
+				return true
+			}
+			continue // conflict during commit: restart
+		}
+		var valid bool
+		switch len(addrs) {
+		case 2:
+			valid = t.ROValid2()
+		case 3:
+			valid = t.ROValid3()
+		default:
+			valid = t.ROValid4()
+		}
+		if valid {
+			return false // values genuinely differ
+		}
+		// Conflict: restart.
+	}
+}

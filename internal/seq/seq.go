@@ -1,0 +1,143 @@
+// Package seq provides the optimized sequential integer-set baselines
+// ("sequential is optimized sequential code; it is not safe for
+// multi-threaded use, but it provides a reference point of the cost of an
+// implementation without concurrency control", §4.2). All throughput
+// figures are normalized against these.
+package seq
+
+import "spectm/internal/rng"
+
+// Hash is a chained hash table of unique uint64 keys.
+type Hash struct {
+	buckets [][]uint64
+	mask    uint64
+}
+
+// NewHash creates a table with nBuckets (rounded to a power of two).
+func NewHash(nBuckets int) *Hash {
+	n := 1
+	for n < nBuckets {
+		n <<= 1
+	}
+	return &Hash{buckets: make([][]uint64, n), mask: uint64(n - 1)}
+}
+
+// Contains reports membership.
+func (h *Hash) Contains(key uint64) bool {
+	for _, k := range h.buckets[key&h.mask] {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts key; false if present.
+func (h *Hash) Add(key uint64) bool {
+	b := key & h.mask
+	for _, k := range h.buckets[b] {
+		if k == key {
+			return false
+		}
+	}
+	h.buckets[b] = append(h.buckets[b], key)
+	return true
+}
+
+// Remove deletes key; false if absent.
+func (h *Hash) Remove(key uint64) bool {
+	b := key & h.mask
+	chain := h.buckets[b]
+	for i, k := range chain {
+		if k == key {
+			chain[i] = chain[len(chain)-1]
+			h.buckets[b] = chain[:len(chain)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// skipMax mirrors the concurrent variants' maximum tower height.
+const skipMax = 32
+
+type snode struct {
+	key  uint64
+	next []*snode
+}
+
+// Skip is a sequential skip list of unique uint64 keys.
+type Skip struct {
+	head *snode
+	rng  *rng.State
+	lvl  int // current highest occupied level
+}
+
+// NewSkip creates an empty list seeded deterministically.
+func NewSkip(seed uint64) *Skip {
+	return &Skip{head: &snode{next: make([]*snode, skipMax)}, rng: rng.New(seed), lvl: 1}
+}
+
+// search fills preds with the rightmost node < key per level and returns
+// the candidate at level 0.
+func (s *Skip) search(key uint64, preds []*snode) *snode {
+	cur := s.head
+	for lvl := s.lvl - 1; lvl >= 0; lvl-- {
+		for cur.next[lvl] != nil && cur.next[lvl].key < key {
+			cur = cur.next[lvl]
+		}
+		preds[lvl] = cur
+	}
+	return cur.next[0]
+}
+
+// Contains reports membership.
+func (s *Skip) Contains(key uint64) bool {
+	cur := s.head
+	for lvl := s.lvl - 1; lvl >= 0; lvl-- {
+		for cur.next[lvl] != nil && cur.next[lvl].key < key {
+			cur = cur.next[lvl]
+		}
+	}
+	n := cur.next[0]
+	return n != nil && n.key == key
+}
+
+// Add inserts key; false if present.
+func (s *Skip) Add(key uint64) bool {
+	var preds [skipMax]*snode
+	for i := s.lvl; i < skipMax; i++ {
+		preds[i] = s.head
+	}
+	if n := s.search(key, preds[:]); n != nil && n.key == key {
+		return false
+	}
+	lvl := s.rng.Level(skipMax)
+	if lvl > s.lvl {
+		s.lvl = lvl
+	}
+	n := &snode{key: key, next: make([]*snode, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = preds[i].next[i]
+		preds[i].next[i] = n
+	}
+	return true
+}
+
+// Remove deletes key; false if absent.
+func (s *Skip) Remove(key uint64) bool {
+	var preds [skipMax]*snode
+	for i := s.lvl; i < skipMax; i++ {
+		preds[i] = s.head
+	}
+	n := s.search(key, preds[:])
+	if n == nil || n.key != key {
+		return false
+	}
+	for i := 0; i < len(n.next); i++ {
+		if preds[i].next[i] == n {
+			preds[i].next[i] = n.next[i]
+		}
+	}
+	return true
+}

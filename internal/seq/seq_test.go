@@ -1,0 +1,94 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashBasic(t *testing.T) {
+	h := NewHash(16)
+	if h.Contains(1) {
+		t.Fatal("empty table contains 1")
+	}
+	if !h.Add(1) || h.Add(1) {
+		t.Fatal("Add semantics")
+	}
+	if !h.Contains(1) {
+		t.Fatal("added key missing")
+	}
+	if !h.Remove(1) || h.Remove(1) {
+		t.Fatal("Remove semantics")
+	}
+	if h.Contains(1) {
+		t.Fatal("removed key present")
+	}
+}
+
+func TestSkipBasic(t *testing.T) {
+	s := NewSkip(1)
+	if s.Contains(5) {
+		t.Fatal("empty list contains 5")
+	}
+	if !s.Add(5) || s.Add(5) {
+		t.Fatal("Add semantics")
+	}
+	if !s.Contains(5) {
+		t.Fatal("added key missing")
+	}
+	if !s.Remove(5) || s.Remove(5) {
+		t.Fatal("Remove semantics")
+	}
+}
+
+// set is the minimal mutable-set surface shared by both structures.
+type set interface {
+	Add(uint64) bool
+	Remove(uint64) bool
+	Contains(uint64) bool
+}
+
+// modelCheck runs random op sequences against map semantics, building a
+// fresh structure for every sequence.
+func modelCheck(t *testing.T, fresh func() set) {
+	f := func(ops []uint16) bool {
+		s := fresh()
+		model := map[uint64]bool{}
+		for _, op := range ops {
+			key := uint64(op % 64)
+			switch (op / 64) % 3 {
+			case 0:
+				if s.Add(key) != !model[key] {
+					return false
+				}
+				model[key] = true
+			case 1:
+				if s.Remove(key) != model[key] {
+					return false
+				}
+				delete(model, key)
+			default:
+				if s.Contains(key) != model[key] {
+					return false
+				}
+			}
+		}
+		for k := uint64(0); k < 64; k++ {
+			if s.Contains(k) != model[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashModelProperty(t *testing.T) {
+	modelCheck(t, func() set { return NewHash(8) })
+}
+
+func TestSkipModelProperty(t *testing.T) {
+	var seed uint64
+	modelCheck(t, func() set { seed++; return NewSkip(seed) })
+}

@@ -1,0 +1,52 @@
+// Package vlock implements TL2-style versioned-lock words, the ownership
+// record ("orec") representation shared by the orec-table layout (paper
+// Fig 3(a)) and the TVar layout (Fig 3(b)).
+//
+// A meta word holds either
+//
+//	version<<1           — unlocked, version number in bits 1..63, or
+//	owner<<1 | 1         — locked by transaction/thread `owner`.
+//
+// Versions are only ever written while holding the lock, so an unlocked
+// word whose value is unchanged between two reads brackets an unchanged
+// data word (the standard orec protocol).
+package vlock
+
+import "sync/atomic"
+
+// lockBit is bit 0 of the meta word.
+const lockBit uint64 = 1
+
+// Load atomically reads the raw meta word.
+func Load(m *uint64) uint64 { return atomic.LoadUint64(m) }
+
+// IsLocked reports whether the raw word w is locked.
+func IsLocked(w uint64) bool { return w&lockBit != 0 }
+
+// Version extracts the version from an unlocked raw word.
+func Version(w uint64) uint64 { return w >> 1 }
+
+// Owner extracts the owner id from a locked raw word.
+func Owner(w uint64) uint64 { return w >> 1 }
+
+// Make builds the raw unlocked representation of version v.
+func Make(v uint64) uint64 { return v << 1 }
+
+// makeLocked builds the raw locked representation for owner o.
+func makeLocked(o uint64) uint64 { return o<<1 | lockBit }
+
+// TryLock attempts to move the word from the observed unlocked value cur to
+// locked-by-owner. It fails if cur is locked or the word changed.
+func TryLock(m *uint64, cur, owner uint64) bool {
+	if IsLocked(cur) {
+		return false
+	}
+	return atomic.CompareAndSwapUint64(m, cur, makeLocked(owner))
+}
+
+// Unlock releases the word, installing version v. The caller must hold the
+// lock; this is a plain atomic store (release on all supported targets).
+func Unlock(m *uint64, v uint64) { atomic.StoreUint64(m, Make(v)) }
+
+// LockedBy reports whether raw word w is locked by owner.
+func LockedBy(w, owner uint64) bool { return IsLocked(w) && Owner(w) == owner }

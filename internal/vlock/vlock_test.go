@@ -1,0 +1,97 @@
+package vlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeVersion(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= 1<<63 - 1
+		w := Make(v)
+		return !IsLocked(w) && Version(w) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryLockUnlock(t *testing.T) {
+	m := Make(7)
+	if !TryLock(&m, Load(&m), 3) {
+		t.Fatal("lock of free word must succeed")
+	}
+	w := Load(&m)
+	if !IsLocked(w) || Owner(w) != 3 {
+		t.Fatalf("unexpected locked word %#x", w)
+	}
+	if !LockedBy(w, 3) || LockedBy(w, 4) {
+		t.Fatal("LockedBy owner check wrong")
+	}
+	if TryLock(&m, w, 4) {
+		t.Fatal("locking a locked word must fail")
+	}
+	Unlock(&m, 8)
+	w = Load(&m)
+	if IsLocked(w) || Version(w) != 8 {
+		t.Fatalf("unlock produced %#x", w)
+	}
+}
+
+func TestTryLockStaleVersion(t *testing.T) {
+	m := Make(7)
+	stale := Make(6)
+	if TryLock(&m, stale, 1) {
+		t.Fatal("lock with stale observed value must fail")
+	}
+	if got := Version(Load(&m)); got != 7 {
+		t.Fatalf("failed lock must not change word, got version %d", got)
+	}
+}
+
+// TestMutualExclusion hammers one word from many goroutines; exactly one
+// may hold the lock at a time.
+func TestMutualExclusion(t *testing.T) {
+	m := Make(0)
+	var holders atomic.Int64
+	var maxSeen atomic.Int64
+	var acquired atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(owner uint64) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				cur := Load(&m)
+				if IsLocked(cur) {
+					continue
+				}
+				if !TryLock(&m, cur, owner) {
+					continue
+				}
+				h := holders.Add(1)
+				if h > maxSeen.Load() {
+					maxSeen.Store(h)
+				}
+				acquired.Add(1)
+				holders.Add(-1)
+				Unlock(&m, Version(cur)+1)
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	if maxSeen.Load() != 1 {
+		t.Fatalf("mutual exclusion violated: %d concurrent holders", maxSeen.Load())
+	}
+	if acquired.Load() == 0 {
+		t.Fatal("no goroutine ever acquired the lock")
+	}
+	if IsLocked(Load(&m)) {
+		t.Fatal("word left locked")
+	}
+	if got, want := Version(Load(&m)), uint64(acquired.Load()); got != want {
+		t.Fatalf("version %d after %d acquisitions", got, want)
+	}
+}

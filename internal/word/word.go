@@ -1,0 +1,64 @@
+// Package word defines the 64-bit value encoding shared by every SpecTM
+// meta-data layout.
+//
+// A transactional word stores one Value. The low two bits are reserved:
+//
+//	bit 0 — STM lock bit. Only the "val" layout (combined meta-data,
+//	        paper §2.4) ever sets it; values always keep it clear, so a
+//	        set bit 0 unambiguously means "locked, bits 1..63 = owner id".
+//	bit 1 — application mark bit ("deleted" bit in the paper's skip list
+//	        and in Harris-style lock-free lists).
+//
+// Bits 2..63 carry the payload: either a small integer or an arena handle
+// (the repository's substitute for the paper's aligned C pointers).
+package word
+
+// Value is the encoded content of a transactional word.
+type Value uint64
+
+const (
+	// LockBit is reserved for the STM in the combined-meta-data layout.
+	LockBit Value = 1 << 0
+	// MarkBit is the application-level "deleted" mark.
+	MarkBit Value = 1 << 1
+
+	payloadShift = 2
+	// MaxPayload is the largest integer payload a Value can carry.
+	MaxPayload uint64 = 1<<62 - 1
+)
+
+// Null is the zero Value. It encodes payload 0, unmarked and unlocked, and
+// plays the role of the paper's NULL pointer.
+const Null Value = 0
+
+// FromUint encodes an integer payload. The payload must fit in 62 bits;
+// larger values are truncated (callers that need the full range should
+// range-check against MaxPayload).
+func FromUint(u uint64) Value { return Value(u) << payloadShift }
+
+// Uint decodes the integer payload, ignoring the mark bit.
+func (v Value) Uint() uint64 { return uint64(v) >> payloadShift }
+
+// Marked reports whether the application mark bit is set.
+func (v Value) Marked() bool { return v&MarkBit != 0 }
+
+// WithMark returns v with the mark bit set.
+func (v Value) WithMark() Value { return v | MarkBit }
+
+// WithoutMark returns v with the mark bit cleared.
+func (v Value) WithoutMark() Value { return v &^ MarkBit }
+
+// IsNull reports whether the payload is zero, ignoring the mark bit.
+// A marked null still counts as null.
+func (v Value) IsNull() bool { return v.WithoutMark() == Null }
+
+// Raw views of the lock bit, used only by the val layout inside the engine.
+
+// Locked reports whether the raw word w is currently locked (bit 0 set).
+func Locked(w uint64) bool { return w&uint64(LockBit) != 0 }
+
+// LockWord builds the raw locked representation for owner id o.
+func LockWord(owner uint64) uint64 { return owner<<1 | uint64(LockBit) }
+
+// LockOwner extracts the owner id from a locked raw word.
+func LockOwner(w uint64) uint64 { return w >> 1 }

@@ -1,0 +1,113 @@
+package word
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNull(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null must be null")
+	}
+	if Null.Marked() {
+		t.Fatal("Null must be unmarked")
+	}
+	if !Null.WithMark().IsNull() {
+		t.Fatal("marked null is still null")
+	}
+	if FromUint(0) != Null {
+		t.Fatal("FromUint(0) must equal Null")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, u := range []uint64{0, 1, 2, 3, 1 << 20, MaxPayload} {
+		v := FromUint(u)
+		if got := v.Uint(); got != u {
+			t.Fatalf("round trip %d -> %d", u, got)
+		}
+		if Locked(uint64(v)) {
+			t.Fatalf("encoded value %d must not look locked", u)
+		}
+		if v.Marked() {
+			t.Fatalf("encoded value %d must not look marked", u)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(u uint64) bool {
+		u &= MaxPayload
+		v := FromUint(u)
+		return v.Uint() == u && !Locked(uint64(v)) && !v.Marked()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMark(t *testing.T) {
+	v := FromUint(42)
+	m := v.WithMark()
+	if !m.Marked() {
+		t.Fatal("WithMark must set mark")
+	}
+	if m.Uint() != 42 {
+		t.Fatal("mark must not disturb payload")
+	}
+	if m.WithoutMark() != v {
+		t.Fatal("WithoutMark must restore the original")
+	}
+	if v.Marked() {
+		t.Fatal("WithMark must not mutate its receiver")
+	}
+}
+
+func TestMarkProperty(t *testing.T) {
+	f := func(u uint64) bool {
+		v := FromUint(u & MaxPayload)
+		m := v.WithMark()
+		return m.Marked() && m.WithoutMark() == v && m.Uint() == v.Uint()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockWord(t *testing.T) {
+	for _, owner := range []uint64{1, 2, 77, 1 << 40} {
+		w := LockWord(owner)
+		if !Locked(w) {
+			t.Fatalf("LockWord(%d) must be locked", owner)
+		}
+		if got := LockOwner(w); got != owner {
+			t.Fatalf("owner %d -> %d", owner, got)
+		}
+	}
+}
+
+func TestLockWordProperty(t *testing.T) {
+	f := func(owner uint64) bool {
+		owner &= 1<<63 - 1
+		w := LockWord(owner)
+		return Locked(w) && LockOwner(w) == owner
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesNeverLookLocked(t *testing.T) {
+	// Any encoded value, marked or not, must have bit 0 clear: the val
+	// layout depends on this to distinguish values from lock words.
+	f := func(u uint64, mark bool) bool {
+		v := FromUint(u & MaxPayload)
+		if mark {
+			v = v.WithMark()
+		}
+		return !Locked(uint64(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

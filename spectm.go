@@ -1,0 +1,158 @@
+// Package spectm is a Go implementation of SpecTM — the specialized
+// software transactional memory of Dragojević & Harris, "STM in the
+// Small: Trading Generality for Performance in Software Transactional
+// Memory" (EuroSys 2012) — together with the data structures and
+// baselines of the paper's evaluation.
+//
+// # The engine
+//
+// An Engine provides transactional words (Var) under one of three
+// meta-data layouts (LayoutOrec, LayoutTVar, LayoutVal) and two version
+// management strategies (ClockGlobal, ClockLocal). Three APIs operate on
+// the same meta-data and can be freely mixed:
+//
+//   - single-location transactions: Thr.SingleRead, SingleWrite,
+//     SingleCAS;
+//   - short transactions of statically known size ≤ 4: Thr.RWRead1..4,
+//     RWValid*, RWCommit*, RORead1..4, ROValid*, UpgradeRO*ToRW*,
+//     CommitRO*RW*;
+//   - full transactions: Thr.TxStart/TxRead/TxWrite/TxCommit, or the
+//     Thr.Atomic retry wrapper.
+//
+// # Data structures
+//
+// NewSet builds the paper's hash-table and skip-list integer sets in any
+// of the evaluated variants (sequential, lock-free, orec/tvar/val ×
+// full/short × global/local). NewDeque builds the §2 double-ended queue
+// in both the traditional and the specialized flavor. DCSS, CAS2–CAS4
+// and KCSS are multi-word primitives layered on short transactions.
+//
+// # Reproduction
+//
+// cmd/spectm-bench regenerates every figure of the paper's evaluation;
+// see DESIGN.md and EXPERIMENTS.md.
+package spectm
+
+import (
+	"spectm/internal/btree"
+	"spectm/internal/core"
+	"spectm/internal/deque"
+	"spectm/internal/intset"
+	"spectm/internal/mwcas"
+	"spectm/internal/word"
+)
+
+// Value is the 64-bit encoded content of a transactional word. Payloads
+// occupy bits 2..63; bit 0 is reserved for the val layout's lock and
+// bit 1 is an application-visible mark.
+type Value = word.Value
+
+// Null is the zero Value (the paper's NULL).
+const Null = word.Null
+
+// MaxPayload is the largest integer a Value can carry.
+const MaxPayload = word.MaxPayload
+
+// FromUint encodes an integer payload into a Value.
+func FromUint(u uint64) Value { return word.FromUint(u) }
+
+// Engine is a SpecTM instance. Create with New; register each worker
+// goroutine with Engine.Register.
+type Engine = core.Engine
+
+// Config parametrizes an Engine.
+type Config = core.Config
+
+// Layout selects the meta-data organization (paper Fig 3).
+type Layout = core.Layout
+
+// ClockMode selects the version-management strategy (§4.1).
+type ClockMode = core.ClockMode
+
+// Meta-data layouts and clock modes (see the paper's Fig 3 and §4.1).
+const (
+	LayoutOrec = core.LayoutOrec
+	LayoutTVar = core.LayoutTVar
+	LayoutVal  = core.LayoutVal
+
+	ClockGlobal = core.ClockGlobal
+	ClockLocal  = core.ClockLocal
+)
+
+// MaxShort is the maximum number of locations in a short transaction.
+const MaxShort = core.MaxShort
+
+// Thr is a registered thread: the per-thread transaction descriptor.
+type Thr = core.Thr
+
+// Var addresses one transactional word.
+type Var = core.Var
+
+// Cell is the storage of a transactional word, for embedding in nodes.
+type Cell = core.Cell
+
+// Stats counts transaction outcomes per thread.
+type Stats = core.Stats
+
+// New creates an engine.
+func New(cfg Config) *Engine { return core.New(cfg) }
+
+// Set is a concurrent integer set in one of the paper's variants.
+type Set = intset.Set
+
+// SetThread is a per-worker handle on a Set.
+type SetThread = intset.Thread
+
+// SetConfig selects a structure ("hash" or "skip") and variant.
+type SetConfig = intset.Config
+
+// NewSet builds an integer set; see SetVariants for the variant names.
+func NewSet(cfg SetConfig) (Set, error) { return intset.New(cfg) }
+
+// SetVariants lists every set variant of the paper's evaluation.
+func SetVariants() []string { return intset.Variants() }
+
+// Deque is the bounded double-ended queue of the paper's §2.
+type Deque = deque.D
+
+// DequeShort is the specialized-API accessor flavor.
+type DequeShort = deque.Short
+
+// DequeFull is the traditional-API accessor flavor.
+type DequeFull = deque.Full
+
+// NewDeque creates a deque with the given capacity on engine e. Attach
+// per-thread accessors with Deque.NewShort and Deque.NewFull; the two
+// flavors compose on the same deque.
+func NewDeque(e *Engine, capacity int) *Deque { return deque.New(e, capacity) }
+
+// BTree is a concurrent uint64→uint64 B-link tree built in SpecTM style:
+// leaf operations are 2–3 location short transactions, splits are
+// ordinary transactions (the paper's §6 future-work structure).
+type BTree = btree.Tree
+
+// BTreeThread is a per-worker handle on a BTree.
+type BTreeThread = btree.Thread
+
+// NewBTree creates an empty tree on engine e.
+func NewBTree(e *Engine) *BTree { return btree.New(e) }
+
+// DCSS is double-compare-single-swap: if *a1 == o1 and *a2 == o2, store
+// n1 into a1. It reports whether the swap happened.
+func DCSS(t *Thr, a1, a2 Var, o1, o2, n1 Value) bool { return mwcas.DCSS(t, a1, a2, o1, o2, n1) }
+
+// CAS2 is a 2-location compare-and-swap.
+func CAS2(t *Thr, a1, a2 Var, o1, o2, n1, n2 Value) bool {
+	return mwcas.CAS2(t, a1, a2, o1, o2, n1, n2)
+}
+
+// CAS3 is a 3-location compare-and-swap.
+func CAS3(t *Thr, a1, a2, a3 Var, o1, o2, o3, n1, n2, n3 Value) bool {
+	return mwcas.CAS3(t, a1, a2, a3, o1, o2, o3, n1, n2, n3)
+}
+
+// CAS4 is a 4-location compare-and-swap.
+func CAS4(t *Thr, a [4]Var, o, n [4]Value) bool { return mwcas.CAS4(t, a, o, n) }
+
+// KCSS compares 2–4 locations and, when all match, swaps the first.
+func KCSS(t *Thr, addrs []Var, olds []Value, n1 Value) bool { return mwcas.KCSS(t, addrs, olds, n1) }

@@ -1,0 +1,119 @@
+package spectm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the whole public surface the way the
+// README's quickstart does.
+func TestFacadeQuickstart(t *testing.T) {
+	e := New(Config{Layout: LayoutVal})
+	thr := e.Register()
+
+	a := e.NewVar(FromUint(100))
+	b := e.NewVar(FromUint(0))
+
+	// Short transaction: move 30 from a to b atomically.
+	x := thr.RWRead1(a)
+	y := thr.RWRead2(b)
+	if !thr.RWValid2() {
+		t.Fatal("uncontended short txn invalid")
+	}
+	thr.RWCommit2(FromUint(x.Uint()-30), FromUint(y.Uint()+30))
+
+	// Full transaction on the same words.
+	ok := thr.Atomic(func() bool {
+		av := thr.TxRead(a)
+		bv := thr.TxRead(b)
+		if !thr.TxOK() {
+			return true
+		}
+		thr.TxWrite(a, FromUint(av.Uint()+5))
+		thr.TxWrite(b, FromUint(bv.Uint()-5))
+		return true
+	})
+	if !ok {
+		t.Fatal("full txn failed")
+	}
+
+	if got := thr.SingleRead(a); got != FromUint(75) {
+		t.Fatalf("a = %d, want 75", got.Uint())
+	}
+	if got := thr.SingleRead(b); got != FromUint(25) {
+		t.Fatalf("b = %d, want 25", got.Uint())
+	}
+
+	// Multi-word primitives.
+	if !DCSS(thr, a, b, FromUint(75), FromUint(25), FromUint(80)) {
+		t.Fatal("DCSS failed")
+	}
+	if !CAS2(thr, a, b, FromUint(80), FromUint(25), FromUint(1), FromUint(2)) {
+		t.Fatal("CAS2 failed")
+	}
+}
+
+func TestFacadeSet(t *testing.T) {
+	for _, v := range SetVariants() {
+		if v == "orec-full-g-fine" {
+			continue
+		}
+		s, err := NewSet(SetConfig{Structure: "hash", Variant: v, Buckets: 64})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		th := s.NewThread()
+		if !th.Add(7) || !th.Contains(7) || !th.Remove(7) {
+			t.Fatalf("%s: set semantics broken", v)
+		}
+	}
+}
+
+func TestFacadeDeque(t *testing.T) {
+	e := New(Config{Layout: LayoutTVar})
+	d := NewDeque(e, 16)
+	var wg sync.WaitGroup
+	const items = 500
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		q := d.NewShort(e.Register())
+		for i := uint64(1); i <= items; i++ {
+			for !q.PushRight(FromUint(i)) {
+			}
+		}
+	}()
+	got := make([]uint64, 0, items)
+	q := d.NewFull(e.Register())
+	for len(got) < items {
+		if v, ok := q.PopLeft(); ok {
+			got = append(got, v.Uint())
+		}
+	}
+	wg.Wait()
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("FIFO order broken at %d: %d", i, v)
+		}
+	}
+}
+
+func TestFacadeKCSS(t *testing.T) {
+	e := New(Config{Layout: LayoutOrec})
+	thr := e.Register()
+	a, b, c := e.NewVar(FromUint(1)), e.NewVar(FromUint(2)), e.NewVar(FromUint(3))
+	if !KCSS(thr, []Var{a, b, c}, []Value{FromUint(1), FromUint(2), FromUint(3)}, FromUint(9)) {
+		t.Fatal("KCSS failed")
+	}
+	if thr.SingleRead(a) != FromUint(9) || thr.SingleRead(b) != FromUint(2) {
+		t.Fatal("KCSS wrote wrong state")
+	}
+	if !CAS3(thr, a, b, c, FromUint(9), FromUint(2), FromUint(3), FromUint(1), FromUint(1), FromUint(1)) {
+		t.Fatal("CAS3 failed")
+	}
+	if !CAS4(thr, [4]Var{a, b, c, e.NewVar(FromUint(4))},
+		[4]Value{FromUint(1), FromUint(1), FromUint(1), FromUint(4)},
+		[4]Value{FromUint(0), FromUint(0), FromUint(0), FromUint(0)}) {
+		t.Fatal("CAS4 failed")
+	}
+}
