@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	e := spectm.New(spectm.Config{Layout: spectm.LayoutVal})
+	e := spectm.New(spectm.WithLayout(spectm.LayoutVal))
 	const accounts = 8
 	const initial = 1000
 
@@ -80,16 +80,14 @@ func main() {
 		}(uint64(w) + 1)
 	}
 
-	// Auditor: consistent snapshots of account pairs via RO transactions.
+	// Auditor: consistent snapshots of account pairs via read-only
+	// short transactions (DoRO2 retries until a snapshot validates).
 	auditor := e.Register()
 	for i := 0; i < 50000; i++ {
 		j := uint64(i) % (accounts - 1)
-		x := auditor.RORead1(vars[j])
-		y := auditor.RORead2(vars[j+1])
-		if auditor.ROValid2() {
-			if x.Uint()+y.Uint() > accounts*initial {
-				log.Fatal("snapshot shows impossible pair total")
-			}
+		x, y := spectm.DoRO2(auditor, vars[j], vars[j+1])
+		if x.Uint()+y.Uint() > accounts*initial {
+			log.Fatal("snapshot shows impossible pair total")
 		}
 	}
 

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	e := spectm.New(spectm.Config{Layout: spectm.LayoutTVar})
+	e := spectm.New(spectm.WithLayout(spectm.LayoutTVar))
 	q := spectm.NewDeque(e, 128)
 
 	const producers = 2

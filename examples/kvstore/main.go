@@ -70,14 +70,15 @@ func (s *store) Put(t *spectm.Thr, key, val uint64) bool {
 			// Update: a combined short transaction — validate the key
 			// read-only while the value is locked and rewritten (the
 			// paper's "mostly-read-write" shape, §2.4).
-			if t.RORead1(s.keyVar(i)) == k {
-				t.RWRead1(s.valVar(i))
-				if t.CommitRO1RW1(spectm.FromUint(val)) {
+			ro, kv := t.ShortRO1(s.keyVar(i))
+			if kv == k {
+				c, _ := ro.LockRead(s.valVar(i))
+				if c.Commit(spectm.FromUint(val)) {
 					return true
 				}
 				continue // conflict; retry the slot
 			}
-			t.ShortDiscard() // abandon the read-only record
+			ro.Discard() // abandon the read-only record
 			break
 		}
 	}
@@ -90,9 +91,8 @@ func (s *store) Get(t *spectm.Thr, key uint64) (uint64, bool) {
 	for step := uint64(0); step <= s.mask; step++ {
 		i := s.probe(key, step)
 		for {
-			kv := t.RORead1(s.keyVar(i))
-			vv := t.RORead2(s.valVar(i))
-			if !t.ROValid2() {
+			d, kv, vv := t.ShortRO2(s.keyVar(i), s.valVar(i))
+			if !d.Valid() {
 				continue // torn by a concurrent writer; re-read
 			}
 			if kv == spectm.Null {
@@ -108,7 +108,7 @@ func (s *store) Get(t *spectm.Thr, key uint64) (uint64, bool) {
 }
 
 func main() {
-	e := spectm.New(spectm.Config{Layout: spectm.LayoutVal})
+	e := spectm.New(spectm.WithLayout(spectm.LayoutVal))
 	s := newStore(e, 1<<14)
 
 	const workers = 4

@@ -1,6 +1,7 @@
-// Quickstart: create an engine, move money between two accounts with a
-// short transaction, a full transaction, and a multi-word CAS — all
-// against the same transactional words.
+// Quickstart: create an engine with options, move money between two
+// accounts with a typed short transaction, a retry combinator, a full
+// transaction, and a multi-word CAS — all against the same
+// transactional words.
 package main
 
 import (
@@ -13,54 +14,62 @@ import (
 func main() {
 	// The val layout is the paper's fastest configuration: one lock bit
 	// per word, value-based validation.
-	e := spectm.New(spectm.Config{Layout: spectm.LayoutVal})
+	e := spectm.New(spectm.WithLayout(spectm.LayoutVal))
 	thr := e.Register()
 
 	checking := e.NewVar(spectm.FromUint(1000))
 	savings := e.NewVar(spectm.FromUint(500))
 
-	// 1. A short read-write transaction (§2.2): both reads lock their
-	// locations eagerly; the commit supplies the new values.
-	c := thr.RWRead1(checking)
-	s := thr.RWRead2(savings)
-	if !thr.RWValid2() {
+	// 1. A short read-write transaction (§2.2): the typed descriptor
+	// locks both locations eagerly at the reads; Commit's arity is part
+	// of the ShortRW2 type, and the whole path allocates nothing.
+	d, c, s := thr.ShortRW2(checking, savings)
+	if !d.Valid() {
 		log.Fatal("quickstart: unexpected conflict (single-threaded)")
 	}
-	thr.RWCommit2(spectm.FromUint(c.Uint()-200), spectm.FromUint(s.Uint()+200))
+	d.Commit(spectm.FromUint(c.Uint()-200), spectm.FromUint(s.Uint()+200))
 	fmt.Printf("after short txn:  checking=%4d savings=%4d\n",
 		thr.SingleRead(checking).Uint(), thr.SingleRead(savings).Uint())
 
-	// 2. A full transaction (§2.1) over the same words — short and
+	// 2. The same transfer shape via the DoRW2 combinator, which owns
+	// the validate-or-restart loop: the body sees a stable snapshot and
+	// returns the values to commit (or false to abort).
+	ok := spectm.DoRW2(thr, checking, savings,
+		func(cv, sv spectm.Value) (spectm.Value, spectm.Value, bool) {
+			if cv.Uint() < 100 {
+				return 0, 0, false // insufficient funds: abort
+			}
+			return spectm.FromUint(cv.Uint() - 100), spectm.FromUint(sv.Uint() + 100), true
+		})
+	fmt.Printf("after DoRW2:      checking=%4d savings=%4d (committed=%v)\n",
+		thr.SingleRead(checking).Uint(), thr.SingleRead(savings).Uint(), ok)
+
+	// 3. A full transaction (§2.1) over the same words — short and
 	// ordinary transactions share meta-data and compose.
-	ok := thr.Atomic(func() bool {
+	ok = thr.Atomic(func() bool {
 		cv := thr.TxRead(checking)
 		sv := thr.TxRead(savings)
 		if !thr.TxOK() {
 			return true // doomed; Atomic retries
 		}
-		if cv.Uint() < 100 {
-			return false // user abort: insufficient funds
-		}
-		thr.TxWrite(checking, spectm.FromUint(cv.Uint()-100))
-		thr.TxWrite(savings, spectm.FromUint(sv.Uint()+100))
+		thr.TxWrite(checking, spectm.FromUint(cv.Uint()+50))
+		thr.TxWrite(savings, spectm.FromUint(sv.Uint()-50))
 		return true
 	})
 	fmt.Printf("after full txn:   checking=%4d savings=%4d (committed=%v)\n",
 		thr.SingleRead(checking).Uint(), thr.SingleRead(savings).Uint(), ok)
 
-	// 3. DCSS: credit interest to savings only while checking holds its
-	// expected balance.
+	// 4. DCSS: re-stamp savings only while checking holds its expected
+	// balance.
 	sv := thr.SingleRead(savings)
-	if spectm.DCSS(thr, savings, checking, sv, spectm.FromUint(700), spectm.FromUint(sv.Uint()+8)) {
+	cv := thr.SingleRead(checking)
+	if spectm.DCSS(thr, savings, checking, sv, cv, spectm.FromUint(sv.Uint()+8)) {
 		fmt.Printf("after DCSS:       checking=%4d savings=%4d\n",
 			thr.SingleRead(checking).Uint(), thr.SingleRead(savings).Uint())
 	}
 
-	// 4. A read-only short transaction observes both accounts in one
-	// consistent snapshot.
-	a := thr.RORead1(checking)
-	b := thr.RORead2(savings)
-	if thr.ROValid2() {
-		fmt.Printf("consistent snapshot: total=%d\n", a.Uint()+b.Uint())
-	}
+	// 5. A read-only short transaction observes both accounts in one
+	// consistent snapshot; DoRO2 retries until the snapshot validates.
+	a, b := spectm.DoRO2(thr, checking, savings)
+	fmt.Printf("consistent snapshot: total=%d\n", a.Uint()+b.Uint())
 }

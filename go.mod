@@ -1,0 +1,3 @@
+module spectm
+
+go 1.24.0

@@ -252,15 +252,15 @@ func (x *Thread) Put(key, val uint64) bool {
 		h := x.leafFor(key)
 		n := tr.a.Get(h)
 		// Lock the leaf: first read of a short RW transaction.
-		v := th.RWRead1(tr.verVar(h, n))
-		if !th.RWValid1() {
+		d1, v := th.ShortRW1(tr.verVar(h, n))
+		if !d1.Valid() {
 			th.Backoff(attempt)
 			continue
 		}
 		// The leaf is stable now; plain single reads below cannot race
 		// with other mutators.
 		if !covers(th.SingleRead(tr.highVar(h, n)), key) {
-			th.RWAbort1() // split moved our key range; re-navigate
+			d1.Abort() // split moved our key range; re-navigate
 			continue
 		}
 		free := -1
@@ -278,26 +278,26 @@ func (x *Thread) Put(key, val uint64) bool {
 		switch {
 		case slot >= 0:
 			// Update: version + value, a 2-location short transaction.
-			th.RWRead2(tr.valVar(h, n, slot))
-			if !th.RWValid2() {
+			d2, _ := d1.Extend(tr.valVar(h, n, slot))
+			if !d2.Valid() {
 				th.Backoff(attempt)
 				continue
 			}
-			th.RWCommit2(word.FromUint(v.Uint()+1), encVal(val))
+			d2.Commit(word.FromUint(v.Uint()+1), encVal(val))
 			return false
 		case free >= 0:
 			// Insert: version + key slot + value slot (3 locations).
-			th.RWRead2(tr.keyVar(h, n, free))
-			th.RWRead3(tr.valVar(h, n, free))
-			if !th.RWValid3() {
+			d2, _ := d1.Extend(tr.keyVar(h, n, free))
+			d3, _ := d2.Extend(tr.valVar(h, n, free))
+			if !d3.Valid() {
 				th.Backoff(attempt)
 				continue
 			}
-			th.RWCommit3(word.FromUint(v.Uint()+1), encKey(key), encVal(val))
+			d3.Commit(word.FromUint(v.Uint()+1), encKey(key), encVal(val))
 			return true
 		default:
 			// Full leaf: release and split with an ordinary transaction.
-			th.RWAbort1()
+			d1.Abort()
 			x.splitLeaf(h)
 		}
 	}
@@ -311,13 +311,13 @@ func (x *Thread) Delete(key uint64) bool {
 	for attempt := 1; ; attempt++ {
 		h := x.leafFor(key)
 		n := tr.a.Get(h)
-		v := th.RWRead1(tr.verVar(h, n))
-		if !th.RWValid1() {
+		d1, v := th.ShortRW1(tr.verVar(h, n))
+		if !d1.Valid() {
 			th.Backoff(attempt)
 			continue
 		}
 		if !covers(th.SingleRead(tr.highVar(h, n)), key) {
-			th.RWAbort1()
+			d1.Abort()
 			continue
 		}
 		slot := -1
@@ -328,16 +328,16 @@ func (x *Thread) Delete(key uint64) bool {
 			}
 		}
 		if slot < 0 {
-			th.RWAbort1()
+			d1.Abort()
 			return false
 		}
-		th.RWRead2(tr.keyVar(h, n, slot))
-		th.RWRead3(tr.valVar(h, n, slot))
-		if !th.RWValid3() {
+		d2, _ := d1.Extend(tr.keyVar(h, n, slot))
+		d3, _ := d2.Extend(tr.valVar(h, n, slot))
+		if !d3.Valid() {
 			th.Backoff(attempt)
 			continue
 		}
-		th.RWCommit3(word.FromUint(v.Uint()+1), word.Null, word.Null)
+		d3.Commit(word.FromUint(v.Uint()+1), word.Null, word.Null)
 		return true
 	}
 }

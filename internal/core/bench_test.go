@@ -75,6 +75,7 @@ func BenchmarkShortRW2(b *testing.B) {
 			e := New(c.cfg)
 			t := e.Register()
 			vars := benchVars(e, 1024)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				x := t.RWRead1(vars[i&1023])
@@ -88,17 +89,79 @@ func BenchmarkShortRW2(b *testing.B) {
 	}
 }
 
+// BenchmarkShortRW2Typed is the same transaction through the typed
+// descriptor API; the wrappers above must cost the same.
+func BenchmarkShortRW2Typed(b *testing.B) {
+	for _, c := range benchConfigs() {
+		b.Run(c.name, func(b *testing.B) {
+			e := New(c.cfg)
+			t := e.Register()
+			vars := benchVars(e, 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, x, y := t.ShortRW2(vars[i&1023], vars[(i+1)&1023])
+				if !d.Valid() {
+					b.Fatal("conflict single-threaded")
+				}
+				d.Commit(word.FromUint(x.Uint()+1), word.FromUint(y.Uint()+1))
+			}
+		})
+	}
+}
+
+// BenchmarkShortDoRW2 measures the combinator overhead over the bare
+// descriptor loop.
+func BenchmarkShortDoRW2(b *testing.B) {
+	for _, c := range benchConfigs() {
+		b.Run(c.name, func(b *testing.B) {
+			e := New(c.cfg)
+			t := e.Register()
+			vars := benchVars(e, 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				DoRW2(t, vars[i&1023], vars[(i+1)&1023],
+					func(x, y Value) (Value, Value, bool) {
+						return word.FromUint(x.Uint() + 1), word.FromUint(y.Uint() + 1), true
+					})
+			}
+		})
+	}
+}
+
 func BenchmarkShortRO2(b *testing.B) {
 	for _, c := range benchConfigs() {
 		b.Run(c.name, func(b *testing.B) {
 			e := New(c.cfg)
 			t := e.Register()
 			vars := benchVars(e, 1024)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				t.RORead1(vars[i&1023])
 				t.RORead2(vars[(i+1)&1023])
 				if !t.ROValid2() {
+					b.Fatal("conflict single-threaded")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShortRO2Typed is the read-only snapshot through the typed
+// descriptor API.
+func BenchmarkShortRO2Typed(b *testing.B) {
+	for _, c := range benchConfigs() {
+		b.Run(c.name, func(b *testing.B) {
+			e := New(c.cfg)
+			t := e.Register()
+			vars := benchVars(e, 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, _, _ := t.ShortRO2(vars[i&1023], vars[(i+1)&1023])
+				if !d.Valid() {
 					b.Fatal("conflict single-threaded")
 				}
 			}

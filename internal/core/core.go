@@ -133,6 +133,30 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validate reports whether the configuration describes a buildable
+// engine. Zero values are valid (they select defaults); set fields must
+// be in range and consistent with the layout.
+func (c Config) Validate() error {
+	if c.Layout > LayoutVal {
+		return fmt.Errorf("core: unknown layout %d", c.Layout)
+	}
+	if c.Clock > ClockLocal {
+		return fmt.Errorf("core: unknown clock mode %d", c.Clock)
+	}
+	// OrecBits and ValNoCounter are ignored by the layouts they don't
+	// apply to, and pre-options constructors accepted such configs
+	// silently, so OrecBits is only range-checked here; the stricter
+	// options constructor in the public package rejects the
+	// layout-inconsistent combinations itself.
+	if c.OrecBits < 0 || c.OrecBits > 30 {
+		return fmt.Errorf("core: OrecBits %d out of range [0, 30] (0 selects the default)", c.OrecBits)
+	}
+	if c.MaxThreads < 0 {
+		return fmt.Errorf("core: MaxThreads %d is negative", c.MaxThreads)
+	}
+	return nil
+}
+
 // Engine is a SpecTM instance: meta-data layout, clocks, and the thread
 // registry. All transactional data accessed through one Engine must be
 // created against that Engine.
@@ -147,8 +171,22 @@ type Engine struct {
 	epochDom *epoch.Domain
 }
 
-// New creates an engine.
+// New creates an engine, panicking on an invalid configuration. Use
+// NewChecked to handle configuration errors gracefully.
 func New(cfg Config) *Engine {
+	e, err := NewChecked(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return e
+}
+
+// NewChecked creates an engine, returning an error when the
+// configuration does not validate.
+func NewChecked(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	e := &Engine{
 		cfg:      cfg,
@@ -160,7 +198,7 @@ func New(cfg Config) *Engine {
 		e.orecs = make([]uint64, n)
 		e.orecMask = n - 1
 	}
-	return e
+	return e, nil
 }
 
 // Config returns the engine's effective configuration.

@@ -170,8 +170,10 @@ func (t *Thr) shortRWValid(n int) bool {
 }
 
 // shortRWCommit implements Tx_RW_n_Commit: store the new values and
-// release. All locations are locked, so no validation is required.
-func (t *Thr) shortRWCommit(n int, vals []Value) {
+// release. All locations are locked, so no validation is required. vals
+// is a fixed-size array (only the first n entries are used) so the
+// commit fast path performs no dynamic allocation.
+func (t *Thr) shortRWCommit(n int, vals [MaxShort]Value) {
 	s := &t.short
 	if !s.valid || s.nw != n {
 		panic(fmt.Sprintf("core: RW commit arity %d on record with %d locked locations (valid=%v)", n, s.nw, s.valid))
@@ -182,8 +184,9 @@ func (t *Thr) shortRWCommit(n int, vals []Value) {
 }
 
 // publishAndRelease stores vals into the write set and releases all
-// locks, bumping versions/counters as the layout requires.
-func (t *Thr) publishAndRelease(n int, vals []Value) {
+// locks, bumping versions/counters as the layout requires. Taking the
+// values as a fixed-size array keeps the hot path allocation-free.
+func (t *Thr) publishAndRelease(n int, vals [MaxShort]Value) {
 	s := &t.short
 	if t.e.cfg.Layout == LayoutVal {
 		for i := 0; i < n; i++ {
@@ -545,7 +548,7 @@ func (t *Thr) shortUpgrade(x, y int) bool {
 // shortCommitRORW implements Tx_RO_x_RW_y_Commit: validate the x
 // read-only entries while holding the y write locks, then publish.
 // Returns false (and releases everything) on a validation conflict.
-func (t *Thr) shortCommitRORW(x, y int, vals []Value) bool {
+func (t *Thr) shortCommitRORW(x, y int, vals [MaxShort]Value) bool {
 	s := &t.short
 	if !s.valid {
 		return false

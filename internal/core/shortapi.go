@@ -12,131 +12,135 @@
 //	Tx_RO_n_Is_Valid      -> ROValid1..ROValid4
 //	Tx_RO_x_RW_y_Commit   -> CommitRO1RW1, CommitRO1RW2, ...
 //	Tx_Upgrade_RO_x_To_RW_y -> UpgradeRO1ToRW1, ...
+//
+// Every method here is a one-line wrapper over the typed descriptor API
+// of typed.go, which carries the arity in the type instead of the method
+// name; see DESIGN.md for the correspondence table. New code should
+// prefer the typed API — these wrappers keep the paper's Figure-2 names
+// available for side-by-side reading with the C interface.
 package core
 
 // RWRead1 starts a short read-write transaction and reads (locking) its
 // first location.
-func (t *Thr) RWRead1(v Var) Value { return t.shortRWRead(0, v) }
+func (t *Thr) RWRead1(v Var) Value { _, x := t.ShortRW1(v); return x }
 
 // RWRead2 reads (locking) the second location of a short RW transaction.
-func (t *Thr) RWRead2(v Var) Value { return t.shortRWRead(1, v) }
+func (t *Thr) RWRead2(v Var) Value { _, x := ShortRW1{t}.Extend(v); return x }
 
 // RWRead3 reads (locking) the third location of a short RW transaction.
-func (t *Thr) RWRead3(v Var) Value { return t.shortRWRead(2, v) }
+func (t *Thr) RWRead3(v Var) Value { _, x := ShortRW2{t}.Extend(v); return x }
 
 // RWRead4 reads (locking) the fourth location of a short RW transaction.
-func (t *Thr) RWRead4(v Var) Value { return t.shortRWRead(3, v) }
+func (t *Thr) RWRead4(v Var) Value { _, x := ShortRW3{t}.Extend(v); return x }
 
 // RWValid1 reports whether a 1-location RW transaction is still valid.
 // An invalid record has already released its locks; restart it.
-func (t *Thr) RWValid1() bool { return t.shortRWValid(1) }
+func (t *Thr) RWValid1() bool { return ShortRW1{t}.Valid() }
 
 // RWValid2 reports whether a 2-location RW transaction is still valid.
-func (t *Thr) RWValid2() bool { return t.shortRWValid(2) }
+func (t *Thr) RWValid2() bool { return ShortRW2{t}.Valid() }
 
 // RWValid3 reports whether a 3-location RW transaction is still valid.
-func (t *Thr) RWValid3() bool { return t.shortRWValid(3) }
+func (t *Thr) RWValid3() bool { return ShortRW3{t}.Valid() }
 
 // RWValid4 reports whether a 4-location RW transaction is still valid.
-func (t *Thr) RWValid4() bool { return t.shortRWValid(4) }
+func (t *Thr) RWValid4() bool { return ShortRW4{t}.Valid() }
 
 // RWCommit1 commits a 1-location RW transaction, storing v1.
-func (t *Thr) RWCommit1(v1 Value) { t.shortRWCommit(1, []Value{v1}) }
+func (t *Thr) RWCommit1(v1 Value) { ShortRW1{t}.Commit(v1) }
 
 // RWCommit2 commits a 2-location RW transaction, storing v1 and v2 in
 // access order.
-func (t *Thr) RWCommit2(v1, v2 Value) { t.shortRWCommit(2, []Value{v1, v2}) }
+func (t *Thr) RWCommit2(v1, v2 Value) { ShortRW2{t}.Commit(v1, v2) }
 
 // RWCommit3 commits a 3-location RW transaction.
-func (t *Thr) RWCommit3(v1, v2, v3 Value) { t.shortRWCommit(3, []Value{v1, v2, v3}) }
+func (t *Thr) RWCommit3(v1, v2, v3 Value) { ShortRW3{t}.Commit(v1, v2, v3) }
 
 // RWCommit4 commits a 4-location RW transaction.
-func (t *Thr) RWCommit4(v1, v2, v3, v4 Value) { t.shortRWCommit(4, []Value{v1, v2, v3, v4}) }
+func (t *Thr) RWCommit4(v1, v2, v3, v4 Value) { ShortRW4{t}.Commit(v1, v2, v3, v4) }
 
 // RWAbort1 abandons a 1-location RW transaction, restoring the location.
-func (t *Thr) RWAbort1() { t.shortRWAbort(1) }
+func (t *Thr) RWAbort1() { ShortRW1{t}.Abort() }
 
 // RWAbort2 abandons a 2-location RW transaction.
-func (t *Thr) RWAbort2() { t.shortRWAbort(2) }
+func (t *Thr) RWAbort2() { ShortRW2{t}.Abort() }
 
 // RWAbort3 abandons a 3-location RW transaction.
-func (t *Thr) RWAbort3() { t.shortRWAbort(3) }
+func (t *Thr) RWAbort3() { ShortRW3{t}.Abort() }
 
 // RWAbort4 abandons a 4-location RW transaction.
-func (t *Thr) RWAbort4() { t.shortRWAbort(4) }
+func (t *Thr) RWAbort4() { ShortRW4{t}.Abort() }
 
 // RORead1 starts a short read-only transaction and reads its first
 // location (invisibly).
-func (t *Thr) RORead1(v Var) Value { return t.shortRORead(0, v) }
+func (t *Thr) RORead1(v Var) Value { _, x := t.ShortRO1(v); return x }
 
 // RORead2 reads the second location of a short RO transaction.
-func (t *Thr) RORead2(v Var) Value { return t.shortRORead(1, v) }
+func (t *Thr) RORead2(v Var) Value { _, x := ShortRO1{t}.Extend(v); return x }
 
 // RORead3 reads the third location of a short RO transaction.
-func (t *Thr) RORead3(v Var) Value { return t.shortRORead(2, v) }
+func (t *Thr) RORead3(v Var) Value { _, x := ShortRO2{t}.Extend(v); return x }
 
 // RORead4 reads the fourth location of a short RO transaction.
-func (t *Thr) RORead4(v Var) Value { return t.shortRORead(3, v) }
+func (t *Thr) RORead4(v Var) Value { _, x := ShortRO3{t}.Extend(v); return x }
 
 // ROValid1 validates a 1-location RO transaction. Successful validation
 // serves in place of commit (§2.2).
-func (t *Thr) ROValid1() bool { return t.shortROValid(1) }
+func (t *Thr) ROValid1() bool { return ShortRO1{t}.Valid() }
 
 // ROValid2 validates a 2-location RO transaction.
-func (t *Thr) ROValid2() bool { return t.shortROValid(2) }
+func (t *Thr) ROValid2() bool { return ShortRO2{t}.Valid() }
 
 // ROValid3 validates a 3-location RO transaction.
-func (t *Thr) ROValid3() bool { return t.shortROValid(3) }
+func (t *Thr) ROValid3() bool { return ShortRO3{t}.Valid() }
 
 // ROValid4 validates a 4-location RO transaction.
-func (t *Thr) ROValid4() bool { return t.shortROValid(4) }
+func (t *Thr) ROValid4() bool { return ShortRO4{t}.Valid() }
 
 // UpgradeRO1ToRW1 promotes the transaction's first read to its first
 // write. False means the location changed; the record is invalid.
-func (t *Thr) UpgradeRO1ToRW1() bool { return t.shortUpgrade(0, 0) }
+func (t *Thr) UpgradeRO1ToRW1() bool { _, ok := ShortRO1{t}.Upgrade(); return ok }
 
 // UpgradeRO2ToRW1 promotes the second read to the first write.
-func (t *Thr) UpgradeRO2ToRW1() bool { return t.shortUpgrade(1, 0) }
+func (t *Thr) UpgradeRO2ToRW1() bool { _, ok := ShortRO2{t}.Upgrade2(); return ok }
 
 // UpgradeRO1ToRW2 promotes the first read to the second write.
-func (t *Thr) UpgradeRO1ToRW2() bool { return t.shortUpgrade(0, 1) }
+func (t *Thr) UpgradeRO1ToRW2() bool { _, ok := ShortRO2RW1{t}.Upgrade1(); return ok }
 
 // UpgradeRO2ToRW2 promotes the second read to the second write.
-func (t *Thr) UpgradeRO2ToRW2() bool { return t.shortUpgrade(1, 1) }
+func (t *Thr) UpgradeRO2ToRW2() bool { _, ok := ShortRO2RW1{t}.Upgrade2(); return ok }
 
 // UpgradeRO3ToRW1 promotes the third read to the first write.
-func (t *Thr) UpgradeRO3ToRW1() bool { return t.shortUpgrade(2, 0) }
+func (t *Thr) UpgradeRO3ToRW1() bool { _, ok := ShortRO3{t}.Upgrade3(); return ok }
 
 // UpgradeRO3ToRW2 promotes the third read to the second write.
-func (t *Thr) UpgradeRO3ToRW2() bool { return t.shortUpgrade(2, 1) }
+func (t *Thr) UpgradeRO3ToRW2() bool { _, ok := ShortRO3RW1{t}.Upgrade3(); return ok }
 
 // CommitRO1RW1 commits a combined transaction with 1 read-only and 1
 // written location, storing v1. False releases everything; restart.
-func (t *Thr) CommitRO1RW1(v1 Value) bool { return t.shortCommitRORW(1, 1, []Value{v1}) }
+func (t *Thr) CommitRO1RW1(v1 Value) bool { return ShortRO1RW1{t}.Commit(v1) }
 
 // CommitRO1RW2 commits a combined transaction with 1 read-only and 2
 // written locations.
-func (t *Thr) CommitRO1RW2(v1, v2 Value) bool { return t.shortCommitRORW(1, 2, []Value{v1, v2}) }
+func (t *Thr) CommitRO1RW2(v1, v2 Value) bool { return ShortRO1RW2{t}.Commit(v1, v2) }
 
 // CommitRO1RW3 commits a combined transaction with 1 read-only and 3
 // written locations.
-func (t *Thr) CommitRO1RW3(v1, v2, v3 Value) bool {
-	return t.shortCommitRORW(1, 3, []Value{v1, v2, v3})
-}
+func (t *Thr) CommitRO1RW3(v1, v2, v3 Value) bool { return ShortRO1RW3{t}.Commit(v1, v2, v3) }
 
 // CommitRO2RW1 commits a combined transaction with 2 read-only and 1
 // written location (the shape of the paper's DCSS example).
-func (t *Thr) CommitRO2RW1(v1 Value) bool { return t.shortCommitRORW(2, 1, []Value{v1}) }
+func (t *Thr) CommitRO2RW1(v1 Value) bool { return ShortRO2RW1{t}.Commit(v1) }
 
 // CommitRO2RW2 commits a combined transaction with 2 read-only and 2
 // written locations.
-func (t *Thr) CommitRO2RW2(v1, v2 Value) bool { return t.shortCommitRORW(2, 2, []Value{v1, v2}) }
+func (t *Thr) CommitRO2RW2(v1, v2 Value) bool { return ShortRO2RW2{t}.Commit(v1, v2) }
 
 // CommitRO3RW1 commits a combined transaction with 3 read-only and 1
 // written location.
-func (t *Thr) CommitRO3RW1(v1 Value) bool { return t.shortCommitRORW(3, 1, []Value{v1}) }
+func (t *Thr) CommitRO3RW1(v1 Value) bool { return ShortRO3RW1{t}.Commit(v1) }
 
 // CommitRO4RW1 commits a combined transaction with 4 read-only locations
 // of which the first has been upgraded to the single written location
 // (the shape of a 4-location KCSS).
-func (t *Thr) CommitRO4RW1(v1 Value) bool { return t.shortCommitRORW(4, 1, []Value{v1}) }
+func (t *Thr) CommitRO4RW1(v1 Value) bool { return ShortRO4RW1{t}.Commit(v1) }

@@ -62,7 +62,10 @@ func checkValue(v word.Value) {
 }
 
 // Short is the SpecTM flavor: every operation is one short read-write
-// transaction on two locations (an index word and an item slot).
+// transaction on two locations (an index word and an item slot). The
+// item slot depends on the index just read, so each operation opens a
+// 1-location transaction and extends it — the staged shape of the typed
+// descriptor API.
 type Short struct {
 	d *D
 	t *core.Thr
@@ -75,17 +78,18 @@ func (d *D) NewShort(t *core.Thr) *Short { return &Short{d: d, t: t} }
 // This is the paper's §2.2 PopLeft, verbatim in Go.
 func (s *Short) PopLeft() (word.Value, bool) {
 	for attempt := 1; ; attempt++ {
-		li := s.t.RWRead1(s.d.leftVar()).Uint()
-		result := s.t.RWRead2(s.d.itemVar(li))
-		if !s.t.RWValid2() {
+		d1, lv := s.t.ShortRW1(s.d.leftVar())
+		li := lv.Uint()
+		d, result := d1.Extend(s.d.itemVar(li))
+		if !d.Valid() {
 			s.t.Backoff(attempt)
 			continue
 		}
 		if result.IsNull() {
-			s.t.RWAbort2()
+			d.Abort()
 			return word.Null, false
 		}
-		s.t.RWCommit2(word.FromUint((li+1)%s.d.size), word.Null)
+		d.Commit(word.FromUint((li+1)%s.d.size), word.Null)
 		return result, true
 	}
 }
@@ -94,18 +98,18 @@ func (s *Short) PopLeft() (word.Value, bool) {
 func (s *Short) PushLeft(v word.Value) bool {
 	checkValue(v)
 	for attempt := 1; ; attempt++ {
-		li := s.t.RWRead1(s.d.leftVar()).Uint()
-		slot := (li + s.d.size - 1) % s.d.size
-		cur := s.t.RWRead2(s.d.itemVar(slot))
-		if !s.t.RWValid2() {
+		d1, lv := s.t.ShortRW1(s.d.leftVar())
+		slot := (lv.Uint() + s.d.size - 1) % s.d.size
+		d, cur := d1.Extend(s.d.itemVar(slot))
+		if !d.Valid() {
 			s.t.Backoff(attempt)
 			continue
 		}
 		if !cur.IsNull() {
-			s.t.RWAbort2()
+			d.Abort()
 			return false
 		}
-		s.t.RWCommit2(word.FromUint(slot), v)
+		d.Commit(word.FromUint(slot), v)
 		return true
 	}
 }
@@ -113,18 +117,18 @@ func (s *Short) PushLeft(v word.Value) bool {
 // PopRight removes and returns the rightmost item; false when empty.
 func (s *Short) PopRight() (word.Value, bool) {
 	for attempt := 1; ; attempt++ {
-		ri := s.t.RWRead1(s.d.rightVar()).Uint()
-		slot := (ri + s.d.size - 1) % s.d.size
-		result := s.t.RWRead2(s.d.itemVar(slot))
-		if !s.t.RWValid2() {
+		d1, rv := s.t.ShortRW1(s.d.rightVar())
+		slot := (rv.Uint() + s.d.size - 1) % s.d.size
+		d, result := d1.Extend(s.d.itemVar(slot))
+		if !d.Valid() {
 			s.t.Backoff(attempt)
 			continue
 		}
 		if result.IsNull() {
-			s.t.RWAbort2()
+			d.Abort()
 			return word.Null, false
 		}
-		s.t.RWCommit2(word.FromUint(slot), word.Null)
+		d.Commit(word.FromUint(slot), word.Null)
 		return result, true
 	}
 }
@@ -133,17 +137,18 @@ func (s *Short) PopRight() (word.Value, bool) {
 func (s *Short) PushRight(v word.Value) bool {
 	checkValue(v)
 	for attempt := 1; ; attempt++ {
-		ri := s.t.RWRead1(s.d.rightVar()).Uint()
-		cur := s.t.RWRead2(s.d.itemVar(ri))
-		if !s.t.RWValid2() {
+		d1, rv := s.t.ShortRW1(s.d.rightVar())
+		ri := rv.Uint()
+		d, cur := d1.Extend(s.d.itemVar(ri))
+		if !d.Valid() {
 			s.t.Backoff(attempt)
 			continue
 		}
 		if !cur.IsNull() {
-			s.t.RWAbort2()
+			d.Abort()
 			return false
 		}
-		s.t.RWCommit2(word.FromUint((ri+1)%s.d.size), v)
+		d.Commit(word.FromUint((ri+1)%s.d.size), v)
 		return true
 	}
 }

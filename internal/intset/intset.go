@@ -64,8 +64,10 @@ func Variants() []string {
 // runs ("sequential" is not — it is the reference point).
 func IsConcurrent(variant string) bool { return variant != "sequential" }
 
-// engineFor maps variant names onto engine configurations.
-func engineFor(variant string, maxThreads int) (*core.Engine, bool) {
+// engineFor maps variant names onto engine configurations. Unknown
+// variants and invalid capacity knobs (e.g. a negative MaxThreads)
+// surface as errors rather than panics.
+func engineFor(variant string, maxThreads int) (*core.Engine, error) {
 	cfg := core.Config{MaxThreads: maxThreads}
 	switch variant {
 	case "orec-full-g", "orec-short-g", "orec-full-g-fine":
@@ -85,9 +87,9 @@ func engineFor(variant string, maxThreads int) (*core.Engine, bool) {
 	case "val-full":
 		cfg.Layout = core.LayoutVal
 	default:
-		return nil, false
+		return nil, fmt.Errorf("intset: unknown variant %q", variant)
 	}
-	return core.New(cfg), true
+	return core.NewChecked(cfg)
 }
 
 // New builds a set.
@@ -108,9 +110,9 @@ func New(c Config) (Set, error) {
 		case "orec-full-g-fine":
 			return nil, fmt.Errorf("intset: %s is a skip-list-only variant", c.Variant)
 		}
-		e, ok := engineFor(c.Variant, c.MaxThreads)
-		if !ok {
-			return nil, fmt.Errorf("intset: unknown variant %q", c.Variant)
+		e, err := engineFor(c.Variant, c.MaxThreads)
+		if err != nil {
+			return nil, err
 		}
 		if isShort(c.Variant) {
 			return stmAdapter{stmset.NewHashShort(e, c.Buckets)}, nil
@@ -123,9 +125,9 @@ func New(c Config) (Set, error) {
 		case "lock-free":
 			return &lfSkipSet{s: lockfree.NewSkip(c.MaxThreads)}, nil
 		}
-		e, ok := engineFor(c.Variant, c.MaxThreads)
-		if !ok {
-			return nil, fmt.Errorf("intset: unknown variant %q", c.Variant)
+		e, err := engineFor(c.Variant, c.MaxThreads)
+		if err != nil {
+			return nil, err
 		}
 		switch {
 		case c.Variant == "orec-full-g-fine":

@@ -10,7 +10,9 @@
 //     for k ≤ 4: compare k locations, swap the first.
 //
 // Unlike historical CASN designs, these compose with every other
-// transaction on the same engine because they share its meta-data.
+// transaction on the same engine because they share its meta-data. All
+// of them are written against the typed descriptor API; the CASn family
+// is just a DoRWn combinator with an equality body.
 package mwcas
 
 import (
@@ -20,15 +22,20 @@ import (
 
 // DCSS checks that a1 and a2 hold o1 and o2; if so it stores n1 into a1.
 // It returns whether the swap happened. This follows the paper's DCSS
-// pseudo-code line by line.
+// pseudo-code: two read-only reads, an upgrade of the first, and a
+// combined commit that validates both reads under the lock.
 func DCSS(t *core.Thr, a1, a2 core.Var, o1, o2, n1 word.Value) bool {
 	for {
-		if t.RORead1(a1) == o1 && t.RORead2(a2) == o2 && t.UpgradeRO1ToRW1() {
-			if t.CommitRO2RW1(n1) {
+		d1, x1 := t.ShortRO1(a1)
+		d2, x2 := d1.Extend(a2)
+		if x1 == o1 && x2 == o2 {
+			if c, ok := d2.Upgrade1(); ok && c.Commit(n1) {
 				return true
 			}
-		} else if t.ROValid2() {
-			return false
+			continue // conflict during upgrade or commit: restart
+		}
+		if d2.Valid() {
+			return false // values genuinely differ
 		}
 		// Conflict: restart.
 	}
@@ -37,59 +44,26 @@ func DCSS(t *core.Thr, a1, a2 core.Var, o1, o2, n1 word.Value) bool {
 // CAS2 atomically replaces (o1,o2) with (n1,n2) at (a1,a2) when both
 // match; it returns whether the swap happened.
 func CAS2(t *core.Thr, a1, a2 core.Var, o1, o2, n1, n2 word.Value) bool {
-	for attempt := 1; ; attempt++ {
-		x1 := t.RWRead1(a1)
-		x2 := t.RWRead2(a2)
-		if !t.RWValid2() {
-			t.Backoff(attempt)
-			continue
-		}
-		if x1 != o1 || x2 != o2 {
-			t.RWAbort2()
-			return false
-		}
-		t.RWCommit2(n1, n2)
-		return true
-	}
+	return core.DoRW2(t, a1, a2, func(x1, x2 word.Value) (word.Value, word.Value, bool) {
+		return n1, n2, x1 == o1 && x2 == o2
+	})
 }
 
 // CAS3 is the 3-location analogue of CAS2.
 func CAS3(t *core.Thr, a1, a2, a3 core.Var, o1, o2, o3, n1, n2, n3 word.Value) bool {
-	for attempt := 1; ; attempt++ {
-		x1 := t.RWRead1(a1)
-		x2 := t.RWRead2(a2)
-		x3 := t.RWRead3(a3)
-		if !t.RWValid3() {
-			t.Backoff(attempt)
-			continue
-		}
-		if x1 != o1 || x2 != o2 || x3 != o3 {
-			t.RWAbort3()
-			return false
-		}
-		t.RWCommit3(n1, n2, n3)
-		return true
-	}
+	return core.DoRW3(t, a1, a2, a3,
+		func(x1, x2, x3 word.Value) (word.Value, word.Value, word.Value, bool) {
+			return n1, n2, n3, x1 == o1 && x2 == o2 && x3 == o3
+		})
 }
 
 // CAS4 is the 4-location analogue of CAS2.
 func CAS4(t *core.Thr, a [4]core.Var, o, n [4]word.Value) bool {
-	for attempt := 1; ; attempt++ {
-		x0 := t.RWRead1(a[0])
-		x1 := t.RWRead2(a[1])
-		x2 := t.RWRead3(a[2])
-		x3 := t.RWRead4(a[3])
-		if !t.RWValid4() {
-			t.Backoff(attempt)
-			continue
-		}
-		if x0 != o[0] || x1 != o[1] || x2 != o[2] || x3 != o[3] {
-			t.RWAbort4()
-			return false
-		}
-		t.RWCommit4(n[0], n[1], n[2], n[3])
-		return true
-	}
+	return core.DoRW4(t, a[0], a[1], a[2], a[3],
+		func(x1, x2, x3, x4 word.Value) (word.Value, word.Value, word.Value, word.Value, bool) {
+			return n[0], n[1], n[2], n[3],
+				x1 == o[0] && x2 == o[1] && x3 == o[2] && x4 == o[3]
+		})
 }
 
 // KCSS compares the locations addrs (2 ≤ len ≤ 4) against olds and, when
@@ -100,46 +74,42 @@ func KCSS(t *core.Thr, addrs []core.Var, olds []word.Value, n1 word.Value) bool 
 	if len(addrs) != len(olds) || len(addrs) < 2 || len(addrs) > core.MaxShort {
 		panic("mwcas: KCSS needs 2..4 matching locations and expectations")
 	}
+	switch len(addrs) {
+	case 2:
+		return DCSS(t, addrs[0], addrs[1], olds[0], olds[1], n1)
+	case 3:
+		return kcss3(t, addrs, olds, n1)
+	default:
+		return kcss4(t, addrs, olds, n1)
+	}
+}
+
+func kcss3(t *core.Thr, addrs []core.Var, olds []word.Value, n1 word.Value) bool {
 	for {
-		match := true
-		x := t.RORead1(addrs[0])
-		match = match && x == olds[0]
-		if len(addrs) >= 2 {
-			match = match && t.RORead2(addrs[1]) == olds[1]
-		}
-		if len(addrs) >= 3 {
-			match = match && t.RORead3(addrs[2]) == olds[2]
-		}
-		if len(addrs) >= 4 {
-			match = match && t.RORead4(addrs[3]) == olds[3]
-		}
-		if match && t.UpgradeRO1ToRW1() {
-			var ok bool
-			switch len(addrs) {
-			case 2:
-				ok = t.CommitRO2RW1(n1)
-			case 3:
-				ok = t.CommitRO3RW1(n1)
-			default:
-				ok = t.CommitRO4RW1(n1)
-			}
-			if ok {
+		d, x1, x2, x3 := t.ShortRO3(addrs[0], addrs[1], addrs[2])
+		if x1 == olds[0] && x2 == olds[1] && x3 == olds[2] {
+			if c, ok := d.Upgrade1(); ok && c.Commit(n1) {
 				return true
 			}
-			continue // conflict during commit: restart
+			continue
 		}
-		var valid bool
-		switch len(addrs) {
-		case 2:
-			valid = t.ROValid2()
-		case 3:
-			valid = t.ROValid3()
-		default:
-			valid = t.ROValid4()
+		if d.Valid() {
+			return false
 		}
-		if valid {
-			return false // values genuinely differ
+	}
+}
+
+func kcss4(t *core.Thr, addrs []core.Var, olds []word.Value, n1 word.Value) bool {
+	for {
+		d, x1, x2, x3, x4 := t.ShortRO4(addrs[0], addrs[1], addrs[2], addrs[3])
+		if x1 == olds[0] && x2 == olds[1] && x3 == olds[2] && x4 == olds[3] {
+			if c, ok := d.Upgrade1(); ok && c.Commit(n1) {
+				return true
+			}
+			continue
 		}
-		// Conflict: restart.
+		if d.Valid() {
+			return false
+		}
 	}
 }

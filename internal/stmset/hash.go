@@ -269,23 +269,22 @@ func (x *hashShortThread) Remove(key uint64) bool {
 			return false
 		}
 		n := x.s.a.Get(cur)
-		nv := x.t.RWRead1(x.s.nextVar(cur, n))
-		pv := x.t.RWRead2(prev)
-		if !x.t.RWValid2() {
+		d, nv, pv := x.t.ShortRW2(x.s.nextVar(cur, n), prev)
+		if !d.Valid() {
 			x.t.Backoff(attempt)
 			continue
 		}
 		if nv.Marked() {
 			// Concurrent removal won after our search.
-			x.t.RWAbort2()
+			d.Abort()
 			return false
 		}
 		if pv != link {
 			// The chain moved; restart from the search.
-			x.t.RWAbort2()
+			d.Abort()
 			continue
 		}
-		x.t.RWCommit2(nv.WithMark(), nv)
+		d.Commit(nv.WithMark(), nv)
 		x.t.Epoch.Retire(x.s.a, uint64(cur))
 		return true
 	}

@@ -177,35 +177,30 @@ func (shortSteps) cas(t *core.Thr, v core.Var, old, new word.Value) word.Value {
 }
 
 func (shortSteps) rmw2(t *core.Thr, v0, v1 core.Var, f func(x0, x1 word.Value) (word.Value, word.Value, bool)) stepOutcome {
-	x0 := t.RWRead1(v0)
-	x1 := t.RWRead2(v1)
-	if !t.RWValid2() {
+	d, x0, x1 := t.ShortRW2(v0, v1)
+	if !d.Valid() {
 		return stepConflict
 	}
 	y0, y1, ok := f(x0, x1)
 	if !ok {
-		t.RWAbort2()
+		d.Abort()
 		return stepUserAbort
 	}
-	t.RWCommit2(y0, y1)
+	d.Commit(y0, y1)
 	return stepCommitted
 }
 
 func (shortSteps) rmw4(t *core.Thr, v [4]core.Var, f func(x [4]word.Value) ([4]word.Value, bool)) stepOutcome {
-	var x [4]word.Value
-	x[0] = t.RWRead1(v[0])
-	x[1] = t.RWRead2(v[1])
-	x[2] = t.RWRead3(v[2])
-	x[3] = t.RWRead4(v[3])
-	if !t.RWValid4() {
+	d, x0, x1, x2, x3 := t.ShortRW4(v[0], v[1], v[2], v[3])
+	if !d.Valid() {
 		return stepConflict
 	}
-	y, ok := f(x)
+	y, ok := f([4]word.Value{x0, x1, x2, x3})
 	if !ok {
-		t.RWAbort4()
+		d.Abort()
 		return stepUserAbort
 	}
-	t.RWCommit4(y[0], y[1], y[2], y[3])
+	d.Commit(y[0], y[1], y[2], y[3])
 	return stepCommitted
 }
 

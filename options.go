@@ -1,0 +1,99 @@
+// Engine construction: the options-pattern constructor. An Engine is
+// parameterized by a meta-data layout (paper Fig 3), a version-management
+// strategy (§4.1) and a handful of capacity knobs; options make the
+// common case read as prose —
+//
+//	e := spectm.New(spectm.WithLayout(spectm.LayoutTVar), spectm.WithClock(spectm.ClockLocal))
+//
+// — while New validates the combination before any memory is committed.
+// The zero-option call spectm.New() builds the default engine: the orec
+// layout with a global clock, 256k ownership records, 128 threads.
+package spectm
+
+import (
+	"fmt"
+
+	"spectm/internal/core"
+)
+
+// Option configures an Engine under construction.
+type Option func(*core.Config)
+
+// WithLayout selects the meta-data organization (paper Fig 3):
+// LayoutOrec, LayoutTVar or LayoutVal. The default is LayoutOrec.
+func WithLayout(l Layout) Option {
+	return func(c *core.Config) { c.Layout = l }
+}
+
+// WithClock selects the version-management strategy (§4.1): ClockGlobal
+// (one shared TL2 counter, the default) or ClockLocal (per-orec
+// versions; per-thread commit counters in the val layout).
+func WithClock(m ClockMode) Option {
+	return func(c *core.Config) { c.Clock = m }
+}
+
+// WithMaxThreads bounds the number of Register calls the engine accepts
+// (it sizes the per-thread counter arrays and the epoch domain). The
+// default is 128.
+func WithMaxThreads(n int) Option {
+	return func(c *core.Config) { c.MaxThreads = n }
+}
+
+// WithOrecBits sets log2 of the ownership-record table size for
+// LayoutOrec (default 18, i.e. 256k orecs). Tiny values are useful in
+// tests to force false conflicts. Ignored by the other layouts.
+func WithOrecBits(bits int) Option {
+	return func(c *core.Config) { c.OrecBits = bits }
+}
+
+// WithDebugChecks enables the paper's §2.2 runtime misuse detection
+// (read/write-set disjointness, duplicate locations, lock leaks into
+// full transactions) at some per-access cost.
+func WithDebugChecks() Option {
+	return func(c *core.Config) { c.Debug = true }
+}
+
+// WithValNoCounter, for LayoutVal only, drops the commit-counter check
+// from value-based validation — the paper's fastest configuration. It
+// is sound only under the §2.4 special cases (e.g. values with the
+// non-re-use property, which arena handles provide); general workloads
+// should keep the counters.
+func WithValNoCounter() Option {
+	return func(c *core.Config) { c.ValNoCounter = true }
+}
+
+// NewEngine builds an Engine from options, reporting invalid
+// combinations as an error. It is stricter than the deprecated
+// NewFromConfig shim: options that the selected layout would silently
+// ignore are rejected rather than dropped.
+func NewEngine(opts ...Option) (*Engine, error) {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.ValNoCounter && cfg.Layout != LayoutVal {
+		return nil, fmt.Errorf("spectm: WithValNoCounter is only meaningful with LayoutVal, not %v", cfg.Layout)
+	}
+	if cfg.OrecBits != 0 && cfg.Layout != LayoutOrec {
+		return nil, fmt.Errorf("spectm: WithOrecBits is only meaningful with LayoutOrec, not %v", cfg.Layout)
+	}
+	return core.NewChecked(cfg)
+}
+
+// New builds an Engine from options, panicking on an invalid
+// configuration (a programming error; use NewEngine to handle it as an
+// error instead).
+func New(opts ...Option) *Engine {
+	e, err := NewEngine(opts...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return e
+}
+
+// NewFromConfig creates an engine from a bare Config struct.
+//
+// Deprecated: use New or NewEngine with options; this shim exists for
+// callers written against the pre-options constructor, whose signature
+// was New(Config).
+func NewFromConfig(cfg Config) *Engine { return core.New(cfg) }

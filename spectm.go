@@ -8,16 +8,27 @@
 //
 // An Engine provides transactional words (Var) under one of three
 // meta-data layouts (LayoutOrec, LayoutTVar, LayoutVal) and two version
-// management strategies (ClockGlobal, ClockLocal). Three APIs operate on
-// the same meta-data and can be freely mixed:
+// management strategies (ClockGlobal, ClockLocal), selected with
+// options at construction:
+//
+//	e := spectm.New(spectm.WithLayout(spectm.LayoutVal), spectm.WithValNoCounter())
+//
+// Three APIs operate on the same meta-data and can be freely mixed:
 //
 //   - single-location transactions: Thr.SingleRead, SingleWrite,
 //     SingleCAS;
-//   - short transactions of statically known size ≤ 4: Thr.RWRead1..4,
-//     RWValid*, RWCommit*, RORead1..4, ROValid*, UpgradeRO*ToRW*,
-//     CommitRO*RW*;
+//   - short transactions of statically known size ≤ 4, via typed
+//     descriptors whose arity lives in the type: Thr.ShortRW1..4 /
+//     ShortRO1..4 openers with Extend, Valid, Commit, Abort, Upgrade
+//     and LockRead, plus the DoRW*/DoRO* retry combinators (the
+//     numbered Figure-2 methods RWRead1..4, CommitRO*RW*, ... remain as
+//     thin wrappers; see DESIGN.md for the correspondence);
 //   - full transactions: Thr.TxStart/TxRead/TxWrite/TxCommit, or the
 //     Thr.Atomic retry wrapper.
+//
+// Short-transaction commit and validation paths perform no dynamic
+// allocation — the paper's whole premise is that statically sized
+// transactions need no dynamic bookkeeping.
 //
 // # Data structures
 //
@@ -30,7 +41,7 @@
 // # Reproduction
 //
 // cmd/spectm-bench regenerates every figure of the paper's evaluation;
-// see DESIGN.md and EXPERIMENTS.md.
+// DESIGN.md documents the architecture and the API migration tables.
 package spectm
 
 import (
@@ -61,6 +72,9 @@ func FromUint(u uint64) Value { return word.FromUint(u) }
 type Engine = core.Engine
 
 // Config parametrizes an Engine.
+//
+// Deprecated: construct engines with New and Option values (WithLayout,
+// WithClock, ...); Config remains for NewFromConfig callers.
 type Config = core.Config
 
 // Layout selects the meta-data organization (paper Fig 3).
@@ -94,8 +108,65 @@ type Cell = core.Cell
 // Stats counts transaction outcomes per thread.
 type Stats = core.Stats
 
-// New creates an engine.
-func New(cfg Config) *Engine { return core.New(cfg) }
+// Typed short-transaction descriptors (see DESIGN.md). ShortRWn is an
+// open n-location read-write transaction; ShortROn an n-location
+// read-only one; ShortROxRWy a combined transaction holding y write
+// locks that will validate x read-only entries at commit. Obtain them
+// from the Thr.ShortRW*/ShortRO* openers — never construct them
+// directly.
+type (
+	ShortRW1 = core.ShortRW1
+	ShortRW2 = core.ShortRW2
+	ShortRW3 = core.ShortRW3
+	ShortRW4 = core.ShortRW4
+
+	ShortRO1 = core.ShortRO1
+	ShortRO2 = core.ShortRO2
+	ShortRO3 = core.ShortRO3
+	ShortRO4 = core.ShortRO4
+
+	ShortRO1RW1 = core.ShortRO1RW1
+	ShortRO1RW2 = core.ShortRO1RW2
+	ShortRO1RW3 = core.ShortRO1RW3
+	ShortRO2RW1 = core.ShortRO2RW1
+	ShortRO2RW2 = core.ShortRO2RW2
+	ShortRO3RW1 = core.ShortRO3RW1
+	ShortRO3RW2 = core.ShortRO3RW2
+	ShortRO4RW1 = core.ShortRO4RW1
+)
+
+// DoRW1 runs a 1-location short read-modify-write transaction to
+// completion: conflicts retry with backoff, then f receives the stable
+// locked value and returns the value to commit (or false to abort, in
+// which case DoRW1 reports false).
+func DoRW1(t *Thr, a Var, f func(x1 Value) (Value, bool)) bool { return core.DoRW1(t, a, f) }
+
+// DoRW2 runs a 2-location short read-modify-write transaction.
+func DoRW2(t *Thr, a, b Var, f func(x1, x2 Value) (Value, Value, bool)) bool {
+	return core.DoRW2(t, a, b, f)
+}
+
+// DoRW3 runs a 3-location short read-modify-write transaction.
+func DoRW3(t *Thr, a, b, c Var, f func(x1, x2, x3 Value) (Value, Value, Value, bool)) bool {
+	return core.DoRW3(t, a, b, c, f)
+}
+
+// DoRW4 runs a 4-location short read-modify-write transaction.
+func DoRW4(t *Thr, a, b, c, d Var, f func(x1, x2, x3, x4 Value) (Value, Value, Value, Value, bool)) bool {
+	return core.DoRW4(t, a, b, c, d, f)
+}
+
+// DoRO1 returns a validated read of a, retrying on conflicts.
+func DoRO1(t *Thr, a Var) Value { return core.DoRO1(t, a) }
+
+// DoRO2 returns a consistent snapshot of two locations.
+func DoRO2(t *Thr, a, b Var) (Value, Value) { return core.DoRO2(t, a, b) }
+
+// DoRO3 returns a consistent snapshot of three locations.
+func DoRO3(t *Thr, a, b, c Var) (Value, Value, Value) { return core.DoRO3(t, a, b, c) }
+
+// DoRO4 returns a consistent snapshot of four locations.
+func DoRO4(t *Thr, a, b, c, d Var) (Value, Value, Value, Value) { return core.DoRO4(t, a, b, c, d) }
 
 // Set is a concurrent integer set in one of the paper's variants.
 type Set = intset.Set

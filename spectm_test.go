@@ -1,26 +1,27 @@
 package spectm
 
 import (
+	"strings"
 	"sync"
 	"testing"
 )
 
 // TestFacadeQuickstart exercises the whole public surface the way the
-// README's quickstart does.
+// quickstart example does: typed short transactions, a combinator, a
+// full transaction and the multi-word primitives against one engine.
 func TestFacadeQuickstart(t *testing.T) {
-	e := New(Config{Layout: LayoutVal})
+	e := New(WithLayout(LayoutVal))
 	thr := e.Register()
 
 	a := e.NewVar(FromUint(100))
 	b := e.NewVar(FromUint(0))
 
-	// Short transaction: move 30 from a to b atomically.
-	x := thr.RWRead1(a)
-	y := thr.RWRead2(b)
-	if !thr.RWValid2() {
+	// Typed short transaction: move 30 from a to b atomically.
+	d, x, y := thr.ShortRW2(a, b)
+	if !d.Valid() {
 		t.Fatal("uncontended short txn invalid")
 	}
-	thr.RWCommit2(FromUint(x.Uint()-30), FromUint(y.Uint()+30))
+	d.Commit(FromUint(x.Uint()-30), FromUint(y.Uint()+30))
 
 	// Full transaction on the same words.
 	ok := thr.Atomic(func() bool {
@@ -51,6 +52,119 @@ func TestFacadeQuickstart(t *testing.T) {
 	if !CAS2(thr, a, b, FromUint(80), FromUint(25), FromUint(1), FromUint(2)) {
 		t.Fatal("CAS2 failed")
 	}
+
+	// Snapshot combinator.
+	if xv, yv := DoRO2(thr, a, b); xv != FromUint(1) || yv != FromUint(2) {
+		t.Fatalf("DoRO2 = (%d, %d), want (1, 2)", xv.Uint(), yv.Uint())
+	}
+}
+
+// TestOptionsConstruction covers the options constructor: defaults,
+// every knob, and validation failures.
+func TestOptionsConstruction(t *testing.T) {
+	// Zero options build the default engine.
+	if got := New().Layout(); got != LayoutOrec {
+		t.Fatalf("default layout = %v, want orec", got)
+	}
+
+	e := New(
+		WithLayout(LayoutOrec),
+		WithClock(ClockLocal),
+		WithOrecBits(4),
+		WithMaxThreads(3),
+		WithDebugChecks(),
+	)
+	cfg := e.Config()
+	if cfg.Layout != LayoutOrec || cfg.Clock != ClockLocal || cfg.OrecBits != 4 ||
+		cfg.MaxThreads != 3 || !cfg.Debug {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+
+	if ev := New(WithLayout(LayoutVal), WithValNoCounter()); !ev.Config().ValNoCounter {
+		t.Fatal("WithValNoCounter not applied")
+	}
+
+	for name, opts := range map[string][]Option{
+		"negative-threads":     {WithMaxThreads(-1)},
+		"orecbits-range":       {WithOrecBits(31)},
+		"orecbits-on-val":      {WithLayout(LayoutVal), WithOrecBits(4)},
+		"valnocounter-on-tvar": {WithLayout(LayoutTVar), WithValNoCounter()},
+	} {
+		if _, err := NewEngine(opts...); err == nil {
+			t.Errorf("%s: NewEngine accepted an invalid configuration", name)
+		}
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New did not panic on an invalid configuration")
+		}
+		if !strings.Contains(r.(string), "MaxThreads") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	New(WithMaxThreads(-5))
+}
+
+// TestDeprecatedConfigShim keeps the pre-options constructor working.
+func TestDeprecatedConfigShim(t *testing.T) {
+	e := NewFromConfig(Config{Layout: LayoutTVar, MaxThreads: 2})
+	thr := e.Register()
+	v := e.NewVar(FromUint(7))
+	if got := DoRO1(thr, v); got != FromUint(7) {
+		t.Fatalf("shim engine read %d, want 7", got.Uint())
+	}
+
+	// Configs the old constructor silently accepted must not start
+	// panicking through the shim: ValNoCounter was ignored outside
+	// LayoutVal (only the options constructor rejects it).
+	e2 := NewFromConfig(Config{ValNoCounter: true})
+	if e2.Layout() != LayoutOrec {
+		t.Fatal("shim changed layout defaulting")
+	}
+}
+
+// TestFacadeNumberedWrappers drives the legacy Figure-2 numbered methods
+// through the facade — they are wrappers over the typed descriptors and
+// must interoperate with them on the same engine.
+func TestFacadeNumberedWrappers(t *testing.T) {
+	e := New(WithLayout(LayoutTVar))
+	thr := e.Register()
+	a := e.NewVar(FromUint(10))
+	b := e.NewVar(FromUint(20))
+
+	// Numbered open, numbered commit.
+	x := thr.RWRead1(a)
+	y := thr.RWRead2(b)
+	if !thr.RWValid2() {
+		t.Fatal("numbered RW2 invalid")
+	}
+	thr.RWCommit2(FromUint(x.Uint()+1), FromUint(y.Uint()+1))
+
+	// Numbered RO + upgrade + combined commit (the DCSS shape).
+	if thr.RORead1(a) != FromUint(11) || thr.RORead2(b) != FromUint(21) {
+		t.Fatal("numbered RO reads wrong values")
+	}
+	if !thr.UpgradeRO1ToRW1() {
+		t.Fatal("upgrade failed uncontended")
+	}
+	if !thr.CommitRO2RW1(FromUint(100)) {
+		t.Fatal("combined commit failed uncontended")
+	}
+	if thr.SingleRead(a) != FromUint(100) {
+		t.Fatal("combined commit did not store")
+	}
+
+	// Typed transaction right after, on the same thread and words.
+	d, xv := thr.ShortRW1(a)
+	if !d.Valid() {
+		t.Fatal("typed RW1 invalid after numbered use")
+	}
+	d.Commit(FromUint(xv.Uint() + 1))
+	if thr.SingleRead(a) != FromUint(101) {
+		t.Fatal("typed commit did not store")
+	}
 }
 
 func TestFacadeSet(t *testing.T) {
@@ -70,7 +184,7 @@ func TestFacadeSet(t *testing.T) {
 }
 
 func TestFacadeDeque(t *testing.T) {
-	e := New(Config{Layout: LayoutTVar})
+	e := New(WithLayout(LayoutTVar))
 	d := NewDeque(e, 16)
 	var wg sync.WaitGroup
 	const items = 500
@@ -99,7 +213,7 @@ func TestFacadeDeque(t *testing.T) {
 }
 
 func TestFacadeKCSS(t *testing.T) {
-	e := New(Config{Layout: LayoutOrec})
+	e := New(WithLayout(LayoutOrec))
 	thr := e.Register()
 	a, b, c := e.NewVar(FromUint(1)), e.NewVar(FromUint(2)), e.NewVar(FromUint(3))
 	if !KCSS(thr, []Var{a, b, c}, []Value{FromUint(1), FromUint(2), FromUint(3)}, FromUint(9)) {
