@@ -1,19 +1,24 @@
-// Command spectm-bench regenerates the paper's evaluation figures.
+// Command spectm-bench regenerates the paper's evaluation figures and
+// runs the repository's forward-looking serving workloads.
 //
 // Usage:
 //
 //	spectm-bench -figure all -duration 2s -csv out/
 //	spectm-bench -figure 6 -threads 1,2,4,8
-//	spectm-bench -figure 5
+//	spectm-bench -figure map -duration 25ms -threads 1,2 -json BENCH_smoke.json
 //
-// Each figure prints the series the paper plots; see EXPERIMENTS.md for
-// the expected shapes.
+// Each figure prints the series the paper plots; -figure map runs the
+// sharded transactional map under mixed traffic. With -json, every series
+// point is also written as a machine-readable record — the file CI
+// uploads as the BENCH_smoke.json artifact to track the perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -21,13 +26,28 @@ import (
 	"spectm/internal/figures"
 )
 
+// parseThreads parses, sorts and de-duplicates the -threads list.
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	slices.Sort(out)
+	return slices.Compact(out), nil
+}
+
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 1, 5, 6, 7, 8, 9, 10, or all")
+		figure   = flag.String("figure", "all", "figure to regenerate: 1, 5, 6, 7, 8, 9, 10, map, or all")
 		duration = flag.Duration("duration", time.Second, "measurement time per experiment point")
-		threads  = flag.String("threads", "", "comma-separated thread counts (default 1..2*GOMAXPROCS)")
-		keyrange = flag.Uint64("keyrange", 65536, "integer-set key range")
+		threads  = flag.String("threads", "", "comma-separated thread counts; sorted and de-duplicated (default 1..2*GOMAXPROCS)")
+		keyrange = flag.Uint64("keyrange", 65536, "integer-set key range / map key population")
 		csvDir   = flag.String("csv", "", "directory for CSV output (optional)")
+		jsonPath = flag.String("json", "", "file for machine-readable benchmark records (optional; one {name,threads,ops_per_sec,allocs_per_op} record per series point)")
 		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
 	)
 	flag.Parse()
@@ -39,14 +59,12 @@ func main() {
 		Seed:     *seed,
 	}
 	if *threads != "" {
-		for _, part := range strings.Split(*threads, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "spectm-bench: bad thread count %q\n", part)
-				os.Exit(2)
-			}
-			opts.Threads = append(opts.Threads, n)
+		ts, err := parseThreads(*threads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spectm-bench: %v\n", err)
+			os.Exit(2)
 		}
+		opts.Threads = ts
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -54,11 +72,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var records []figures.BenchRecord
+	if *jsonPath != "" {
+		opts.Record = func(r figures.BenchRecord) { records = append(records, r) }
+	}
 
 	runners := map[string]func(figures.Options) error{
 		"1": figures.Fig1, "5": figures.Fig5, "6": figures.Fig6,
 		"7": figures.Fig7, "8": figures.Fig8, "9": figures.Fig9,
-		"10": figures.Fig10, "all": figures.All,
+		"10": figures.Fig10, "map": figures.FigMap, "all": figures.All,
 	}
 	run, ok := runners[*figure]
 	if !ok {
@@ -68,5 +90,16 @@ func main() {
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "spectm-bench: %v\n", err)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spectm-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d benchmark records to %s\n", len(records), *jsonPath)
 	}
 }

@@ -1,14 +1,19 @@
-// kvstore: a concurrent fixed-capacity key-value cache built directly on
-// SpecTM short transactions — the kind of in-memory index the paper's
-// introduction motivates ("the central role of these data structures in
-// key-value stores and in-memory database indices").
+// kvstore: quickstart for spectm.Map, the sharded transactional
+// key-value store — the kind of in-memory index the paper's introduction
+// motivates ("the central role of these data structures in key-value
+// stores and in-memory database indices").
 //
-// Each slot holds a (key, value) pair in two adjacent transactional
-// words. Inserts claim a slot with a 2-word CAS; lookups read the pair
-// with a read-only short transaction, so a concurrent update can never
-// produce a torn (old-key, new-value) observation; updates go through a
-// combined RO/RW transaction that re-validates the key while writing
-// the value.
+// Every hot-path operation is a statically sized short transaction
+// (see DESIGN.md for the operation→arity table), so the store runs with
+// zero allocations per lookup/update and scales across shards; the map
+// resizes itself under load without stopping readers or writers.
+//
+//	e := spectm.New(spectm.WithLayout(spectm.LayoutVal))
+//	m := spectm.NewMap(e, spectm.WithShards(8))
+//	th := m.NewThread()            // one per worker goroutine
+//	th.Put("user:42", spectm.FromUint(1))
+//	v, ok := th.Get("user:42")
+//	th.CompareAndSwap("user:42", v, spectm.FromUint(2))
 package main
 
 import (
@@ -19,136 +24,74 @@ import (
 	"spectm"
 )
 
-// store is an open-addressed KV cache over transactional word pairs.
-type store struct {
-	e    *spectm.Engine
-	keys []spectm.Cell
-	vals []spectm.Cell
-	mask uint64
-}
-
-func newStore(e *spectm.Engine, capacity int) *store {
-	n := 1
-	for n < capacity {
-		n <<= 1
-	}
-	s := &store{e: e, keys: make([]spectm.Cell, n), vals: make([]spectm.Cell, n), mask: uint64(n - 1)}
-	for i := range s.keys {
-		s.keys[i].Init(spectm.Null)
-		s.vals[i].Init(spectm.Null)
-	}
-	return s
-}
-
-func (s *store) keyVar(i uint64) spectm.Var { return s.e.VarOf(&s.keys[i], 2*i) }
-func (s *store) valVar(i uint64) spectm.Var { return s.e.VarOf(&s.vals[i], 2*i+1) }
-
-// probe yields the slot sequence for a key (linear probing).
-func (s *store) probe(key, step uint64) uint64 { return (key + step) & s.mask }
-
-// Put stores (key, val); false when the table is full. Keys are
-// non-zero. This example never deletes, so a slot's key is written at
-// most once.
-func (s *store) Put(t *spectm.Thr, key, val uint64) bool {
-	k := spectm.FromUint(key)
-	for step := uint64(0); step <= s.mask; step++ {
-		i := s.probe(key, step)
-		for {
-			cur := t.SingleRead(s.keyVar(i))
-			if cur == spectm.Null {
-				// Claim key and value together: a reader can never see
-				// the key without its value.
-				if spectm.CAS2(t, s.keyVar(i), s.valVar(i),
-					spectm.Null, spectm.Null, k, spectm.FromUint(val)) {
-					return true
-				}
-				continue // lost the slot; re-inspect it
-			}
-			if cur != k {
-				break // other key; keep probing
-			}
-			// Update: a combined short transaction — validate the key
-			// read-only while the value is locked and rewritten (the
-			// paper's "mostly-read-write" shape, §2.4).
-			ro, kv := t.ShortRO1(s.keyVar(i))
-			if kv == k {
-				c, _ := ro.LockRead(s.valVar(i))
-				if c.Commit(spectm.FromUint(val)) {
-					return true
-				}
-				continue // conflict; retry the slot
-			}
-			ro.Discard() // abandon the read-only record
-			break
-		}
-	}
-	return false
-}
-
-// Get returns the value for key using a consistent 2-word snapshot.
-func (s *store) Get(t *spectm.Thr, key uint64) (uint64, bool) {
-	k := spectm.FromUint(key)
-	for step := uint64(0); step <= s.mask; step++ {
-		i := s.probe(key, step)
-		for {
-			d, kv, vv := t.ShortRO2(s.keyVar(i), s.valVar(i))
-			if !d.Valid() {
-				continue // torn by a concurrent writer; re-read
-			}
-			if kv == spectm.Null {
-				return 0, false
-			}
-			if kv == k {
-				return vv.Uint(), true
-			}
-			break // other key; next probe
-		}
-	}
-	return 0, false
-}
-
 func main() {
 	e := spectm.New(spectm.WithLayout(spectm.LayoutVal))
-	s := newStore(e, 1<<14)
+	// Start tiny on purpose: the workload below forces the map through
+	// many incremental resizes while traffic is running.
+	m := spectm.NewMap(e, spectm.WithShards(8), spectm.WithInitialBuckets(2))
 
 	const workers = 4
 	const opsPer = 50000
+	const keySpace = 4096
 	var hits, misses atomic.Uint64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(id uint64) {
 			defer wg.Done()
-			t := e.Register()
+			th := m.NewThread()
 			state := id*2654435761 + 1
 			next := func(n uint64) uint64 {
 				state = state*6364136223846793005 + 1442695040888963407
 				return state>>33%n + 1
 			}
 			for i := 0; i < opsPer; i++ {
-				key := next(4096)
-				if i%3 == 0 {
-					s.Put(t, key, key*100+id)
-				} else if v, ok := s.Get(t, key); ok {
-					if v/100 != key {
-						panic("torn read: value does not match key")
+				k := next(keySpace)
+				key := fmt.Sprintf("user:%d", k)
+				switch {
+				case i%3 == 0:
+					// Values encode their key so readers can detect torn
+					// or misrouted reads.
+					th.Put(key, spectm.FromUint(k*100+id))
+				case i%31 == 0:
+					th.Delete(key)
+				default:
+					if v, ok := th.Get(key); ok {
+						if v.Uint()/100 != k {
+							panic("kvstore: torn or misrouted read")
+						}
+						hits.Add(1)
+					} else {
+						misses.Add(1)
 					}
-					hits.Add(1)
-				} else {
-					misses.Add(1)
 				}
 			}
 		}(uint64(w))
 	}
 	wg.Wait()
-	fmt.Printf("kvstore: %d workers, %d ops each\n", workers, opsPer)
-	fmt.Printf("lookups: %d hits, %d misses (no torn reads observed)\n", hits.Load(), misses.Load())
+	fmt.Printf("kvstore: %d workers, %d ops each over %d keys\n", workers, opsPer, keySpace)
+	fmt.Printf("lookups: %d hits, %d misses; %d keys resident after churn\n",
+		hits.Load(), misses.Load(), m.Len())
 
-	// Spot check.
-	t := e.Register()
-	s.Put(t, 42, 4242)
-	if v, ok := s.Get(t, 42); !ok || v != 4242 {
-		panic("kvstore: lost update")
+	// Spot checks: update, atomic snapshot, CAS, cross-shard swap.
+	th := m.NewThread()
+	th.Put("alpha", spectm.FromUint(1))
+	th.Put("beta", spectm.FromUint(2))
+	vals := make([]spectm.Value, 2)
+	found := make([]bool, 2)
+	th.GetBatch([]string{"alpha", "beta"}, vals, found)
+	if !found[0] || !found[1] {
+		panic("kvstore: lost a spot-check key")
 	}
-	fmt.Println("spot check: key 42 ->", 4242)
+	if !th.Swap2("alpha", "beta") {
+		panic("kvstore: swap failed")
+	}
+	if v, _ := th.Get("alpha"); v.Uint() != 2 {
+		panic("kvstore: swap did not take")
+	}
+	if !th.CompareAndSwap("alpha", spectm.FromUint(2), spectm.FromUint(42)) {
+		panic("kvstore: CAS failed")
+	}
+	v, _ := th.Get("alpha")
+	fmt.Println("spot check: alpha ->", v.Uint())
 }

@@ -1,0 +1,76 @@
+// The "map" series: throughput of the sharded transactional map under
+// mixed get/put/delete/batch traffic. This is not a figure of the paper —
+// it is the repository's forward-looking serving workload (ROADMAP), so
+// the series sweeps operation mixes and key distributions instead of
+// meta-data layouts.
+package figures
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spectm/internal/harness"
+)
+
+// mapMix is one traffic profile of the map series.
+type mapMix struct {
+	name                 string
+	get, put, del, batch int
+}
+
+var mapMixes = []mapMix{
+	{"read-heavy", 90, 8, 1, 1},    // cache-like: mostly lookups
+	{"mixed", 60, 25, 10, 5},       // session-store-like churn
+	{"write-heavy", 20, 60, 15, 5}, // ingest-like
+}
+
+var mapDists = []string{"uniform", "zipf"}
+
+// FigMap runs the sharded-map serving workload: every (mix, distribution)
+// profile across the thread sweep. Each point also reports process-wide
+// allocations per operation — the short-transaction hot paths keep the
+// steady state near zero.
+func FigMap(o Options) error {
+	o = o.withDefaults()
+	keys := int(o.KeyRange)
+
+	fmt.Fprintf(o.Out, "\n== map: sharded transactional map, %d string keys ==\n", keys)
+	fmt.Fprintf(o.Out, "%-8s %-14s %-9s %14s %12s %12s\n",
+		"threads", "mix", "dist", "ops/s", "allocs/op", "aborts")
+
+	var csv *os.File
+	if o.CSVDir != "" {
+		f, err := os.Create(filepath.Join(o.CSVDir, "map.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csv = f
+		fmt.Fprintln(csv, "threads,mix,dist,ops_per_sec,allocs_per_op,aborts")
+	}
+
+	for _, th := range o.Threads {
+		for _, mix := range mapMixes {
+			for _, dist := range mapDists {
+				res, err := harness.RunMap(harness.MapWorkload{
+					Keys:   keys,
+					GetPct: mix.get, PutPct: mix.put, DeletePct: mix.del, BatchPct: mix.batch,
+					Dist: dist, Threads: th, Duration: o.Duration, Seed: o.Seed,
+				})
+				if err != nil {
+					return err
+				}
+				aborts := res.Stats.Aborts + res.Stats.ShortAborts
+				fmt.Fprintf(o.Out, "%-8d %-14s %-9s %14.0f %12.3f %12d\n",
+					th, mix.name, dist, res.OpsPerSec, res.AllocsPerOp, aborts)
+				o.record("map/"+mix.name+"/"+dist, th, res.OpsPerSec, res.AllocsPerOp)
+				if csv != nil {
+					fmt.Fprintf(csv, "%d,%s,%s,%.0f,%.4f,%d\n",
+						th, mix.name, dist, res.OpsPerSec, res.AllocsPerOp, aborts)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,11 +49,12 @@ func (w Workload) withDefaults() Workload {
 
 // Result reports one experiment point.
 type Result struct {
-	Workload  Workload
-	Ops       uint64
-	Elapsed   time.Duration
-	OpsPerSec float64
-	Stats     core.Stats // aggregate over STM threads (zero otherwise)
+	Workload    Workload
+	Ops         uint64
+	Elapsed     time.Duration
+	OpsPerSec   float64
+	AllocsPerOp float64    // process-wide mallocs per operation during the run
+	Stats       core.Stats // aggregate over STM threads (zero otherwise)
 }
 
 // thrStats is implemented by STM-backed set threads.
@@ -88,26 +90,15 @@ func Run(w Workload) (Result, error) {
 	}
 
 	insertPct := (100 - w.LookupPct) / 2
-	var stop atomic.Bool
-	counts := make([]uint64, w.Threads)
-	stats := make([]core.Stats, w.Threads)
-	var ready, done sync.WaitGroup
-	start := make(chan struct{})
-
-	for i := 0; i < w.Threads; i++ {
-		ready.Add(1)
-		done.Add(1)
-		go func(id int) {
-			defer done.Done()
-			var th intset.Thread
-			if w.Threads == 1 && w.Variant == "sequential" {
-				th = init // sequential sets share the underlying structure anyway
-			} else {
-				th = set.NewThread()
-			}
-			wr := rng.New(w.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
-			ready.Done()
-			<-start
+	ops, stats, elapsed, mallocs := runWorkers(w.Threads, w.Duration, func(id int) workerBody {
+		var th intset.Thread
+		if w.Threads == 1 && w.Variant == "sequential" {
+			th = init // sequential sets share the underlying structure anyway
+		} else {
+			th = set.NewThread()
+		}
+		wr := rng.New(w.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+		return func(stop *atomic.Bool) (uint64, core.Stats) {
 			var ops uint64
 			for !stop.Load() {
 				// Batch the stop check to keep the loop tight.
@@ -125,26 +116,66 @@ func Run(w Workload) (Result, error) {
 					ops++
 				}
 			}
-			counts[id] = ops
 			if st, ok := th.(thrStats); ok && st.Thr() != nil {
-				stats[id] = st.Thr().Stats
+				return ops, st.Thr().Stats
 			}
+			return ops, core.Stats{}
+		}
+	})
+
+	res := Result{Workload: w, Elapsed: elapsed, Ops: ops, Stats: stats}
+	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	if res.Ops > 0 {
+		res.AllocsPerOp = float64(mallocs) / float64(res.Ops)
+	}
+	return res, nil
+}
+
+// workerBody is one worker's measured loop: it spins until stop is set
+// and returns the worker's operation count and STM stats.
+type workerBody func(stop *atomic.Bool) (uint64, core.Stats)
+
+// runWorkers is the shared benchmark driver: it spawns n workers, runs
+// each one's setup (thread registration, PRNG seeding) in its goroutine
+// before the start gate, and measures exactly the window between
+// releasing the gate and draining the workers. It returns total ops,
+// aggregated STM stats, elapsed wall time and the window's process-wide
+// malloc count.
+func runWorkers(n int, d time.Duration, setup func(id int) workerBody) (uint64, core.Stats, time.Duration, uint64) {
+	var stop atomic.Bool
+	counts := make([]uint64, n)
+	sts := make([]core.Stats, n)
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			body := setup(id)
+			ready.Done()
+			<-start
+			counts[id], sts[id] = body(&stop)
 		}(i)
 	}
-
 	ready.Wait()
+
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	begin := time.Now()
 	close(start)
-	time.Sleep(w.Duration)
+	time.Sleep(d)
 	stop.Store(true)
 	done.Wait()
 	elapsed := time.Since(begin)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
 
-	res := Result{Workload: w, Elapsed: elapsed}
-	for i := range counts {
-		res.Ops += counts[i]
-		res.Stats.Add(stats[i])
+	var ops uint64
+	var stats core.Stats
+	for i := 0; i < n; i++ {
+		ops += counts[i]
+		stats.Add(sts[i])
 	}
-	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
-	return res, nil
+	return ops, stats, elapsed, after.Mallocs - before.Mallocs
 }

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"spectm/internal/rng"
+)
+
+func TestRunMapSmoke(t *testing.T) {
+	for _, dist := range []string{"uniform", "zipf"} {
+		res, err := RunMap(MapWorkload{
+			Keys: 1024, Threads: 2, Duration: 25 * time.Millisecond, Dist: dist,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if res.Ops == 0 || res.OpsPerSec <= 0 {
+			t.Fatalf("%s: no throughput: %+v", dist, res)
+		}
+		if res.Stats.ShortCommits == 0 {
+			t.Fatalf("%s: workload never used the short-transaction paths", dist)
+		}
+	}
+}
+
+func TestRunMapRejectsBadConfig(t *testing.T) {
+	if _, err := RunMap(MapWorkload{GetPct: 50, PutPct: 10, Threads: 1, Duration: time.Millisecond}); err == nil {
+		t.Fatal("mix not summing to 100 was accepted")
+	}
+	if _, err := RunMap(MapWorkload{Dist: "pareto", Threads: 1, Duration: time.Millisecond}); err == nil {
+		t.Fatal("unknown distribution was accepted")
+	}
+	if _, err := RunMap(MapWorkload{Layout: "weird", Threads: 1, Duration: time.Millisecond}); err == nil {
+		t.Fatal("unknown layout was accepted")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := rng.New(42)
+	pick, err := keyPicker("zipf", r, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 20000
+	head := 0
+	for i := 0; i < draws; i++ {
+		if pick() < 8 {
+			head++
+		}
+	}
+	// Under s=1.1 Zipf the top 8 of 1024 keys draw a large share; under
+	// uniform they would draw ~0.8%.
+	if frac := float64(head) / draws; frac < 0.10 {
+		t.Fatalf("zipf head fraction %.3f, want ≥ 0.10", frac)
+	}
+}

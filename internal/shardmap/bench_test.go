@@ -1,0 +1,84 @@
+package shardmap
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"spectm/internal/core"
+	"spectm/internal/rng"
+	"spectm/internal/word"
+)
+
+// benchMap builds a pre-populated map for the hot-path benchmarks.
+func benchMap(nkeys int) (*Map, []string) {
+	e := core.New(core.Config{Layout: core.LayoutVal})
+	m := New(e, WithInitialBuckets(nkeys/8))
+	th := m.NewThread()
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-%06d", i)
+		th.Put(keys[i], word.FromUint(uint64(i)))
+	}
+	return m, keys
+}
+
+func BenchmarkMapGet(b *testing.B) {
+	m, keys := benchMap(1 << 14)
+	th := m.NewThread()
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := th.Get(keys[r.Intn(uint64(len(keys)))]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkMapPutUpdate(b *testing.B) {
+	m, keys := benchMap(1 << 14)
+	th := m.NewThread()
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if th.Put(keys[r.Intn(uint64(len(keys)))], word.FromUint(uint64(i))) {
+			b.Fatal("unexpected insert")
+		}
+	}
+}
+
+func BenchmarkMapGetBatch2(b *testing.B) {
+	m, keys := benchMap(1 << 14)
+	th := m.NewThread()
+	r := rng.New(1)
+	vals := make([]Value, 2)
+	found := make([]bool, 2)
+	pair := make([]string, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pair[0] = keys[r.Intn(uint64(len(keys)))]
+		pair[1] = keys[r.Intn(uint64(len(keys)))]
+		th.GetBatch(pair, vals, found)
+	}
+}
+
+func BenchmarkMapMixedParallel(b *testing.B) {
+	m, keys := benchMap(1 << 14)
+	var ids atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		th := m.NewThread()
+		r := rng.New(ids.Add(1) * 0x9e3779b97f4a7c15)
+		for pb.Next() {
+			k := keys[r.Intn(uint64(len(keys)))]
+			if r.Intn(10) == 0 {
+				th.Put(k, word.FromUint(r.Next()>>3))
+			} else {
+				th.Get(k)
+			}
+		}
+	})
+}

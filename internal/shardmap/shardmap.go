@@ -1,0 +1,511 @@
+// Package shardmap implements a sharded, resizable, string-keyed
+// transactional hash map over the SpecTM engine — the repository's first
+// "serves traffic" workload, built so that every hot-path operation is a
+// statically sized short transaction:
+//
+//	Get                ShortRO2 over (node.next, node.val)
+//	Put (update)       ShortRO1 + LockRead → ShortRO1RW1 combined commit
+//	Put (insert)       chain walk of Tx_Single_Reads + one Tx_Single_CAS
+//	Delete             ShortRW2 over (node.next, prev link): mark + unlink
+//	CompareAndSwap     ShortRO2 + Upgrade2 → ShortRO2RW1 combined commit
+//	Swap2              ShortRO2 + LockRead×2 → ShortRO2RW2 combined commit
+//	GetBatch (2 keys)  ShortRO4 over both (next, val) pairs
+//	GetBatch (n keys)  one full transaction (read-only)
+//
+// Only the per-shard incremental resize falls back to full transactions:
+// each bucket chain is migrated in one ordinary transaction, so growth
+// never stops concurrent readers or writers.
+//
+// # Layout
+//
+// Keys hash once (hash/maphash); the low bits pick a cache-line-padded
+// shard, the next bits pick a bucket in the shard's table. Buckets are
+// sorted chains of arena nodes ordered by (hash, key), exactly like the
+// paper's §3 hash table, with bit 1 of every link reserved as the
+// "deleted" mark. A marked link always means "this node has been
+// atomically unlinked (removed or migrated); restart the operation" —
+// restarting re-reads the shard's table pointer, which is how operations
+// discover an in-progress resize.
+//
+// # Resize
+//
+// A shard grows by doubling its bucket table. The resizing thread
+// publishes {cur: new, old: current} and then migrates one old bucket at
+// a time: a single full transaction copies the chain's nodes into the two
+// split target buckets of the new table, marks every old link, and
+// replaces the old bucket head with a marked-null sentinel. Operations
+// route each key to the old table until its bucket's sentinel appears, so
+// a key is always owned by exactly one table and duplicate inserts across
+// tables are impossible; stale operations that raced the migration fail
+// their CAS/validation against the marked links and restart.
+package shardmap
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spectm/internal/arena"
+	"spectm/internal/core"
+	"spectm/internal/pad"
+	"spectm/internal/word"
+)
+
+// Value re-exports the transactional word encoding stored in the map.
+// Encode integer payloads with word.FromUint (spectm.FromUint); raw
+// values with the low two bits set are rejected by the engine.
+type Value = word.Value
+
+// enc packs an arena handle into a link value.
+func enc(h arena.Handle) word.Value { return word.FromUint(uint64(h)) }
+
+// dec extracts the handle from a link, ignoring the mark bit.
+func dec(v word.Value) arena.Handle { return arena.Handle(v.WithoutMark().Uint()) }
+
+// Stable identity spaces for orec hashing (see stmset for the scheme).
+// Node cells pack (shard tag, arena handle, field); bucket cells take
+// idBucketBase plus a per-table sequence number.
+const (
+	idBucketBase = uint64(1) << 52
+	idNodeShift  = 2 // handle << 2 | field
+	idShardShift = 55
+
+	fieldNext = 0
+	fieldVal  = 1
+)
+
+// maxLoad is the average chain length that triggers a shard resize.
+const maxLoad = 4
+
+// node is one key/value pair. val and next are transactional words; key
+// and hash are immutable after publication.
+type node struct {
+	hash uint64
+	key  string
+	val  core.Cell
+	next core.Cell
+}
+
+// table is one bucket array generation of a shard.
+type table struct {
+	buckets []core.Cell
+	mask    uint64
+	idBase  uint64 // orec identity base for bucket links
+}
+
+// tables is a shard's current view: old is non-nil only during a resize.
+type tables struct {
+	cur *table
+	old *table
+}
+
+// shard is one stripe of the map. The trailing pad keeps neighboring
+// shards' hot fields (state pointer, size counter, arena cursor) off each
+// other's cache lines.
+type shard struct {
+	state atomic.Pointer[tables]
+	size  atomic.Uint64
+	a     *arena.Arena[node]
+	idTag uint64
+	mu    sync.Mutex // serializes resizers; never taken on the hot path
+	_     [pad.CacheLine]byte
+}
+
+// Option configures a Map under construction.
+type Option func(*config)
+
+type config struct {
+	shards  int
+	buckets int
+}
+
+// WithShards sets the number of shards (rounded up to a power of two).
+// The default is the smallest power of two ≥ GOMAXPROCS, at least 8.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithInitialBuckets sets each shard's initial bucket count (rounded up
+// to a power of two, default 64). Shards grow past it on demand.
+func WithInitialBuckets(n int) Option { return func(c *config) { c.buckets = n } }
+
+// Map is a sharded transactional hash map from string keys to Values.
+// Construct with New; each worker goroutine attaches a Thread with
+// NewThread and performs all operations through it.
+type Map struct {
+	e         *core.Engine
+	seed      maphash.Seed
+	shards    []shard
+	shardMask uint64
+	shardBits uint
+	idSeq     atomic.Uint64 // bucket identity allocator
+}
+
+// ceilPow2 rounds n up to a power of two (min 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New creates a map over engine e. All Threads of one Map share e's
+// meta-data, so map operations compose with any other transaction on the
+// same engine.
+func New(e *core.Engine, opts ...Option) *Map {
+	cfg := config{buckets: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards <= 0 {
+		cfg.shards = runtime.GOMAXPROCS(0)
+		if cfg.shards < 8 {
+			cfg.shards = 8
+		}
+	}
+	if cfg.buckets <= 0 {
+		cfg.buckets = 64
+	}
+	ns := ceilPow2(cfg.shards)
+	nb := ceilPow2(cfg.buckets)
+	m := &Map{
+		e:         e,
+		seed:      maphash.MakeSeed(),
+		shards:    make([]shard, ns),
+		shardMask: uint64(ns - 1),
+	}
+	for m.shardBits = 0; 1<<m.shardBits < ns; m.shardBits++ {
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.a = arena.New[node]()
+		sh.idTag = (uint64(i) + 1) << idShardShift
+		st := &tables{cur: m.newTable(nb)}
+		sh.state.Store(st)
+	}
+	return m
+}
+
+// newTable allocates a bucket array with a fresh identity range.
+func (m *Map) newTable(n int) *table {
+	t := &table{
+		buckets: make([]core.Cell, n),
+		mask:    uint64(n - 1),
+		idBase:  idBucketBase + m.idSeq.Add(uint64(n)) - uint64(n),
+	}
+	for i := range t.buckets {
+		t.buckets[i].Init(word.Null)
+	}
+	return t
+}
+
+// Engine returns the engine the map is bound to.
+func (m *Map) Engine() *core.Engine { return m.e }
+
+// Len returns the number of keys. The count is a live sum over shard
+// counters, not an atomic snapshot.
+func (m *Map) Len() int {
+	var n uint64
+	for i := range m.shards {
+		n += m.shards[i].size.Load()
+	}
+	return int(n)
+}
+
+// hash computes the key's 64-bit hash.
+func (m *Map) hash(key string) uint64 { return maphash.String(m.seed, key) }
+
+// shardOf picks the key's shard.
+func (m *Map) shardOf(h uint64) *shard { return &m.shards[h&m.shardMask] }
+
+// bidx is the key's bucket index within a table (the shard bits are
+// skipped so bucket striping stays independent of shard striping).
+func (m *Map) bidx(t *table, h uint64) uint64 { return (h >> m.shardBits) & t.mask }
+
+// Thread is a per-goroutine handle on a Map. A Thread must not be shared
+// between goroutines; create one per worker with NewThread.
+type Thread struct {
+	m *Map
+	t *core.Thr
+
+	// migration scratch, reused across resizes
+	mchain []arena.Handle
+	mnext  []word.Value
+	mvals  []word.Value
+	mcopy  []arena.Handle
+}
+
+// NewThread registers a worker with the map's engine.
+func (m *Map) NewThread() *Thread { return &Thread{m: m, t: m.e.Register()} }
+
+// AttachThread wraps an existing engine thread (registered on the map's
+// engine) so map operations interleave with the caller's other
+// transactions on the same descriptor.
+func (m *Map) AttachThread(t *core.Thr) *Thread { return &Thread{m: m, t: t} }
+
+// Thr exposes the underlying engine thread (stats, epochs).
+func (x *Thread) Thr() *core.Thr { return x.t }
+
+// bucketVar returns the Var of bucket b's head link in table tb.
+func (m *Map) bucketVar(tb *table, b uint64) core.Var {
+	return m.e.VarOf(&tb.buckets[b], tb.idBase+b)
+}
+
+// nextVar returns the Var of a node's chain link.
+func (m *Map) nextVar(sh *shard, h arena.Handle, n *node) core.Var {
+	return m.e.VarOf(&n.next, sh.idTag|uint64(h)<<idNodeShift|fieldNext)
+}
+
+// valVar returns the Var of a node's value word.
+func (m *Map) valVar(sh *shard, h arena.Handle, n *node) core.Var {
+	return m.e.VarOf(&n.val, sh.idTag|uint64(h)<<idNodeShift|fieldVal)
+}
+
+// route resolves which table currently owns h's bucket: the old table
+// until its bucket has been migrated (marked-null sentinel head), the
+// current one afterwards (and in the steady state).
+func (x *Thread) route(sh *shard, h uint64) *table {
+	st := sh.state.Load()
+	if st.old != nil {
+		if !x.t.SingleRead(x.m.bucketVar(st.old, x.m.bidx(st.old, h))).Marked() {
+			return st.old
+		}
+	}
+	return st.cur
+}
+
+// keyLess orders chain entries by (hash, key).
+func keyLess(h1 uint64, k1 string, h2 uint64, k2 string) bool {
+	return h1 < h2 || (h1 == h2 && k1 < k2)
+}
+
+// search walks key's chain in tb with single-location reads. It returns
+// the link Var to update for an insert/remove, that link's observed
+// value, the candidate node and whether the key was found. ok=false means
+// the walk crossed a marked link — an atomically unlinked (removed or
+// migrated) node or a migrated bucket — and the operation must restart
+// from route.
+func (x *Thread) search(sh *shard, tb *table, h uint64, key string) (prev core.Var, link word.Value, cur arena.Handle, found, ok bool) {
+	prev = x.m.bucketVar(tb, x.m.bidx(tb, h))
+	link = x.t.SingleRead(prev)
+	for {
+		if link.Marked() {
+			return prev, link, 0, false, false
+		}
+		if link.IsNull() {
+			return prev, word.Null, 0, false, true
+		}
+		cur = dec(link)
+		n := sh.a.Get(cur)
+		if !keyLess(n.hash, n.key, h, key) {
+			return prev, link, cur, n.hash == h && n.key == key, true
+		}
+		prev = x.m.nextVar(sh, cur, n)
+		link = x.t.SingleRead(prev)
+	}
+}
+
+// Get returns the value stored for key. The (liveness, value) pair is
+// read with one 2-location read-only short transaction, so a concurrent
+// update, removal or migration can never produce a torn observation.
+func (x *Thread) Get(key string) (Value, bool) {
+	h := x.m.hash(key)
+	sh := x.m.shardOf(h)
+	x.t.Epoch.Enter()
+	defer x.t.Epoch.Exit()
+	for attempt := 1; ; attempt++ {
+		tb := x.route(sh, h)
+		_, _, cur, found, ok := x.search(sh, tb, h, key)
+		if !ok {
+			continue
+		}
+		if !found {
+			return 0, false
+		}
+		n := sh.a.Get(cur)
+		d, nv, vv := x.t.ShortRO2(x.m.nextVar(sh, cur, n), x.m.valVar(sh, cur, n))
+		if !d.Valid() {
+			x.t.Backoff(attempt)
+			continue
+		}
+		if nv.Marked() {
+			continue // unlinked under our feet; re-resolve
+		}
+		return vv, true
+	}
+}
+
+// Put stores val under key and reports whether the key was inserted
+// (false: an existing value was replaced). Updates run as a combined
+// short transaction that re-validates the node's liveness link while the
+// value word is locked and rewritten; inserts publish a fresh arena node
+// with a single-location CAS on the predecessor link.
+func (x *Thread) Put(key string, val Value) bool {
+	h := x.m.hash(key)
+	sh := x.m.shardOf(h)
+	x.t.Epoch.Enter()
+	var spare arena.Handle
+	inserted := x.putLoop(sh, h, key, val, &spare)
+	x.t.Epoch.Exit()
+	if inserted {
+		sh.size.Add(1)
+		x.maybeGrow(sh)
+	} else if !spare.IsNil() {
+		sh.a.Free(spare) // lost the insert race; never published
+	}
+	return inserted
+}
+
+func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *arena.Handle) bool {
+	for attempt := 1; ; attempt++ {
+		tb := x.route(sh, h)
+		prev, link, cur, found, ok := x.search(sh, tb, h, key)
+		if !ok {
+			continue
+		}
+		if found {
+			n := sh.a.Get(cur)
+			ro, nv := x.t.ShortRO1(x.m.nextVar(sh, cur, n))
+			if nv.Marked() {
+				ro.Discard()
+				continue // node unlinked after the walk; re-resolve
+			}
+			c, _ := ro.LockRead(x.m.valVar(sh, cur, n))
+			if c.Commit(val) {
+				return false
+			}
+			x.t.Backoff(attempt)
+			continue
+		}
+		if spare.IsNil() {
+			var n *node
+			*spare, n = sh.a.Alloc()
+			n.hash, n.key = h, key
+		}
+		n := sh.a.Get(*spare)
+		n.val.Init(val)
+		n.next.Init(link)
+		if x.t.SingleCAS(prev, link, enc(*spare)) == link {
+			return true
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present. Removal is the
+// paper's §3 mark-and-unlink as one 2-location short read-write
+// transaction: the node's own link is marked (so concurrent walkers
+// restart) in the same commit that splices it out of the chain.
+func (x *Thread) Delete(key string) bool {
+	h := x.m.hash(key)
+	sh := x.m.shardOf(h)
+	x.t.Epoch.Enter()
+	defer x.t.Epoch.Exit()
+	for attempt := 1; ; attempt++ {
+		tb := x.route(sh, h)
+		prev, link, cur, found, ok := x.search(sh, tb, h, key)
+		if !ok {
+			continue
+		}
+		if !found {
+			return false
+		}
+		n := sh.a.Get(cur)
+		d, nv, pv := x.t.ShortRW2(x.m.nextVar(sh, cur, n), prev)
+		if !d.Valid() {
+			x.t.Backoff(attempt)
+			continue
+		}
+		if nv.Marked() || pv != link {
+			// The node was unlinked (removed or migrated) or the chain
+			// moved; either way the search result is stale.
+			d.Abort()
+			continue
+		}
+		d.Commit(nv.WithMark(), nv)
+		sh.size.Add(^uint64(0))
+		x.t.Epoch.Retire(sh.a, uint64(cur))
+		return true
+	}
+}
+
+// CompareAndSwap replaces key's value with new iff it currently holds
+// old, following the paper's DCSS shape: a 2-location read-only snapshot
+// of (liveness link, value), an upgrade of the value entry, and a
+// combined commit that validates the link under the write lock. It
+// returns false when the key is absent or holds a different value.
+func (x *Thread) CompareAndSwap(key string, old, new Value) bool {
+	h := x.m.hash(key)
+	sh := x.m.shardOf(h)
+	x.t.Epoch.Enter()
+	defer x.t.Epoch.Exit()
+	for attempt := 1; ; attempt++ {
+		tb := x.route(sh, h)
+		_, _, cur, found, ok := x.search(sh, tb, h, key)
+		if !ok {
+			continue
+		}
+		if !found {
+			return false
+		}
+		n := sh.a.Get(cur)
+		d1, nv := x.t.ShortRO1(x.m.nextVar(sh, cur, n))
+		d2, vv := d1.Extend(x.m.valVar(sh, cur, n))
+		if nv.Marked() {
+			d2.Discard()
+			continue
+		}
+		if vv != old {
+			if d2.Valid() {
+				return false // consistent snapshot: live node, other value
+			}
+			x.t.Backoff(attempt)
+			continue
+		}
+		if c, up := d2.Upgrade2(); up && c.Commit(new) {
+			return true
+		}
+		x.t.Backoff(attempt)
+	}
+}
+
+// Swap2 atomically exchanges the values of k1 and k2 — across shards —
+// as one combined short transaction: both liveness links validate
+// read-only while both value words are locked and rewritten
+// (ShortRO2RW2). It returns false if either key is absent; a reader can
+// never observe a half-applied swap.
+func (x *Thread) Swap2(k1, k2 string) bool {
+	if k1 == k2 {
+		_, ok := x.Get(k1)
+		return ok
+	}
+	h1, h2 := x.m.hash(k1), x.m.hash(k2)
+	s1, s2 := x.m.shardOf(h1), x.m.shardOf(h2)
+	x.t.Epoch.Enter()
+	defer x.t.Epoch.Exit()
+	for attempt := 1; ; attempt++ {
+		_, _, c1, found1, ok1 := x.search(s1, x.route(s1, h1), h1, k1)
+		if !ok1 {
+			continue
+		}
+		_, _, c2, found2, ok2 := x.search(s2, x.route(s2, h2), h2, k2)
+		if !ok2 {
+			continue
+		}
+		if !found1 || !found2 {
+			return false
+		}
+		n1, n2 := s1.a.Get(c1), s2.a.Get(c2)
+		d1, nv1 := x.t.ShortRO1(x.m.nextVar(s1, c1, n1))
+		d2, nv2 := d1.Extend(x.m.nextVar(s2, c2, n2))
+		if nv1.Marked() || nv2.Marked() {
+			d2.Discard()
+			continue
+		}
+		w1, v1 := d2.LockRead(x.m.valVar(s1, c1, n1))
+		w2, v2 := w1.LockRead(x.m.valVar(s2, c2, n2))
+		if w2.Commit(v2, v1) {
+			return true
+		}
+		x.t.Backoff(attempt)
+	}
+}

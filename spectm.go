@@ -50,6 +50,7 @@ import (
 	"spectm/internal/deque"
 	"spectm/internal/intset"
 	"spectm/internal/mwcas"
+	"spectm/internal/shardmap"
 	"spectm/internal/word"
 )
 
@@ -167,6 +168,32 @@ func DoRO3(t *Thr, a, b, c Var) (Value, Value, Value) { return core.DoRO3(t, a, 
 
 // DoRO4 returns a consistent snapshot of four locations.
 func DoRO4(t *Thr, a, b, c, d Var) (Value, Value, Value, Value) { return core.DoRO4(t, a, b, c, d) }
+
+// Map is a sharded, resizable, string-keyed transactional hash map whose
+// hot paths (Get, Put, Delete, CompareAndSwap, Swap2, 2-key GetBatch) are
+// statically sized short transactions; only per-shard incremental resize
+// uses full transactions. Create with NewMap, attach one MapThread per
+// worker goroutine.
+type Map = shardmap.Map
+
+// MapThread is a per-goroutine handle on a Map.
+type MapThread = shardmap.Thread
+
+// MapOption configures a Map under construction.
+type MapOption = shardmap.Option
+
+// WithShards sets the map's shard count (rounded up to a power of two;
+// default: smallest power of two ≥ GOMAXPROCS, at least 8).
+func WithShards(n int) MapOption { return shardmap.WithShards(n) }
+
+// WithInitialBuckets sets each shard's starting bucket count (rounded up
+// to a power of two, default 64); shards grow past it on demand.
+func WithInitialBuckets(n int) MapOption { return shardmap.WithInitialBuckets(n) }
+
+// NewMap creates a sharded transactional map over engine e. Map
+// operations share e's meta-data, so they compose with every other
+// transaction on the engine.
+func NewMap(e *Engine, opts ...MapOption) *Map { return shardmap.New(e, opts...) }
 
 // Set is a concurrent integer set in one of the paper's variants.
 type Set = intset.Set

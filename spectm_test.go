@@ -1,6 +1,7 @@
 package spectm
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -229,5 +230,62 @@ func TestFacadeKCSS(t *testing.T) {
 		[4]Value{FromUint(1), FromUint(1), FromUint(1), FromUint(4)},
 		[4]Value{FromUint(0), FromUint(0), FromUint(0), FromUint(0)}) {
 		t.Fatal("CAS4 failed")
+	}
+}
+
+// TestFacadeMap exercises the sharded transactional map through the
+// public API: options, hot-path operations, atomic batch reads, CAS and
+// the cross-shard swap, plus concurrent traffic through resizes.
+func TestFacadeMap(t *testing.T) {
+	e := New(WithLayout(LayoutVal))
+	m := NewMap(e, WithShards(4), WithInitialBuckets(2))
+	th := m.NewThread()
+
+	if !th.Put("user:1", FromUint(100)) {
+		t.Fatal("Put did not insert")
+	}
+	if th.Put("user:1", FromUint(101)) {
+		t.Fatal("Put of existing key claimed insert")
+	}
+	if v, ok := th.Get("user:1"); !ok || v.Uint() != 101 {
+		t.Fatalf("Get = %v,%v", v.Uint(), ok)
+	}
+	if !th.CompareAndSwap("user:1", FromUint(101), FromUint(102)) {
+		t.Fatal("CAS failed")
+	}
+	th.Put("user:2", FromUint(200))
+	if !th.Swap2("user:1", "user:2") {
+		t.Fatal("Swap2 failed")
+	}
+	vals := make([]Value, 2)
+	found := make([]bool, 2)
+	th.GetBatch([]string{"user:1", "user:2"}, vals, found)
+	if !found[0] || !found[1] || vals[0].Uint() != 200 || vals[1].Uint() != 102 {
+		t.Fatalf("GetBatch after swap = %v/%v %v/%v", vals[0].Uint(), found[0], vals[1].Uint(), found[1])
+	}
+	if !th.Delete("user:2") || th.Delete("user:2") {
+		t.Fatal("Delete semantics broken")
+	}
+
+	// Concurrent writers force resizes through the tiny initial table.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			wt := m.NewThread()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("w%d-%04d", id, i)
+				wt.Put(key, FromUint(uint64(i)))
+				if v, ok := wt.Get(key); !ok || v.Uint() != uint64(i) {
+					t.Errorf("lost %s", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if want := 1 + 4*500; m.Len() != want {
+		t.Fatalf("Len = %d want %d", m.Len(), want)
 	}
 }
