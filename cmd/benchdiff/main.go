@@ -1,0 +1,238 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares
+// one or more current BenchRecord files (the -json output of
+// spectm-bench / spectm-loadgen) against a checked-in baseline and
+// fails — exit status 1 — when any series point lost more than
+// -max-drop of its ops/sec or increased its allocs/op. It always prints
+// a markdown delta table (CI appends it to the job summary).
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json BENCH_fig1.json BENCH_map.json
+//	benchdiff -baseline BENCH_baseline.json -max-drop 0.20 -md summary.md current.json
+//	benchdiff -update -baseline BENCH_baseline.json current.json   # refresh baseline
+//
+// Records are matched by (name, threads). Points present only in the
+// current run are reported as "new" (not gated); points present only in
+// the baseline are reported as "missing" and warned about, so removing
+// a benchmark is visible but does not hard-fail a refactor.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"slices"
+
+	"spectm/internal/figures"
+)
+
+// key identifies one benchmark point across runs.
+type key struct {
+	Name    string
+	Threads int
+}
+
+func load(path string) (map[key]figures.BenchRecord, []key, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []figures.BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[key]figures.BenchRecord, len(recs))
+	var order []key
+	for _, r := range recs {
+		k := key{r.Name, r.Threads}
+		if _, dup := m[k]; !dup {
+			order = append(order, k)
+		}
+		m[k] = r
+	}
+	return m, order, nil
+}
+
+// row is one line of the delta table.
+type row struct {
+	k       key
+	base    *figures.BenchRecord
+	cur     *figures.BenchRecord
+	status  string
+	failing bool
+}
+
+// compare joins baseline and current points and applies the gate.
+func compare(base map[key]figures.BenchRecord, baseOrder []key,
+	cur map[key]figures.BenchRecord, curOrder []key,
+	maxDrop, allocSlack float64) []row {
+
+	var rows []row
+	for _, k := range baseOrder {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			rows = append(rows, row{k: k, base: &b, status: "missing"})
+			continue
+		}
+		r := row{k: k, base: &b, cur: &c, status: "ok"}
+		if b.OpsPerSec > 0 && c.OpsPerSec < b.OpsPerSec*(1-maxDrop) {
+			r.status = "REGRESSION: ops/s"
+			r.failing = true
+		}
+		if c.AllocsPerOp > b.AllocsPerOp+allocSlack {
+			if r.failing {
+				r.status = "REGRESSION: ops/s + allocs"
+			} else {
+				r.status = "REGRESSION: allocs/op"
+			}
+			r.failing = true
+		}
+		rows = append(rows, r)
+	}
+	for _, k := range curOrder {
+		if _, ok := base[k]; !ok {
+			c := cur[k]
+			rows = append(rows, row{k: k, cur: &c, status: "new"})
+		}
+	}
+	return rows
+}
+
+// markdown renders the delta table.
+func markdown(rows []row, maxDrop float64) string {
+	out := fmt.Sprintf("### benchdiff (gate: >%.0f%% ops/s drop or allocs/op increase)\n\n", maxDrop*100)
+	out += "| benchmark | threads | base ops/s | cur ops/s | Δ ops/s | base allocs | cur allocs | status |\n"
+	out += "|---|---:|---:|---:|---:|---:|---:|---|\n"
+	for _, r := range rows {
+		num := func(p *figures.BenchRecord, f func(figures.BenchRecord) string) string {
+			if p == nil {
+				return "—"
+			}
+			return f(*p)
+		}
+		delta := "—"
+		if r.base != nil && r.cur != nil && r.base.OpsPerSec > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.cur.OpsPerSec/r.base.OpsPerSec-1))
+		}
+		status := r.status
+		if r.failing {
+			status = "**" + status + "**"
+		}
+		out += fmt.Sprintf("| %s | %d | %s | %s | %s | %s | %s | %s |\n",
+			r.k.Name, r.k.Threads,
+			num(r.base, func(x figures.BenchRecord) string { return fmt.Sprintf("%.0f", x.OpsPerSec) }),
+			num(r.cur, func(x figures.BenchRecord) string { return fmt.Sprintf("%.0f", x.OpsPerSec) }),
+			delta,
+			num(r.base, func(x figures.BenchRecord) string { return fmt.Sprintf("%.3f", x.AllocsPerOp) }),
+			num(r.cur, func(x figures.BenchRecord) string { return fmt.Sprintf("%.3f", x.AllocsPerOp) }),
+			status)
+	}
+	return out
+}
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline records")
+		maxDrop    = flag.Float64("max-drop", 0.20, "maximum tolerated fractional ops/s drop")
+		allocSlack = flag.Float64("alloc-slack", 0.02, "tolerated allocs/op increase (absolute)")
+		mdPath     = flag.String("md", "", "also write the markdown table to this file")
+		update     = flag.Bool("update", false, "merge current records into the baseline file instead of gating")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no current record files given")
+		os.Exit(2)
+	}
+
+	cur := map[key]figures.BenchRecord{}
+	var curOrder []key
+	for _, path := range flag.Args() {
+		m, order, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		for _, k := range order {
+			if _, dup := cur[k]; !dup {
+				curOrder = append(curOrder, k)
+			}
+			cur[k] = m[k]
+		}
+	}
+
+	if *update {
+		base, baseOrder, err := load(*baseline)
+		if err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		if base == nil {
+			base = map[key]figures.BenchRecord{}
+		}
+		for _, k := range curOrder {
+			if _, ok := base[k]; !ok {
+				baseOrder = append(baseOrder, k)
+			}
+			base[k] = cur[k]
+		}
+		merged := make([]figures.BenchRecord, 0, len(baseOrder))
+		for _, k := range baseOrder {
+			merged = append(merged, base[k])
+		}
+		slices.SortStableFunc(merged, func(a, b figures.BenchRecord) int {
+			if a.Name != b.Name {
+				if a.Name < b.Name {
+					return -1
+				}
+				return 1
+			}
+			return a.Threads - b.Threads
+		})
+		data, err := json.MarshalIndent(merged, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*baseline, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: writing %s: %v\n", *baseline, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: wrote %d records to %s\n", len(merged), *baseline)
+		return
+	}
+
+	base, baseOrder, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	rows := compare(base, baseOrder, cur, curOrder, *maxDrop, *allocSlack)
+	md := markdown(rows, *maxDrop)
+	fmt.Print(md)
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: writing %s: %v\n", *mdPath, err)
+			os.Exit(2)
+		}
+	}
+
+	failed := 0
+	missing := 0
+	for _, r := range rows {
+		if r.failing {
+			failed++
+		}
+		if r.status == "missing" {
+			missing++
+		}
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d baseline point(s) missing from the current run\n", missing)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s\n", failed, *baseline)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: gate green (%d points compared)\n", len(rows)-missing)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"spectm/internal/figures"
+)
+
+func mk(recs ...figures.BenchRecord) (map[key]figures.BenchRecord, []key) {
+	m := map[key]figures.BenchRecord{}
+	var order []key
+	for _, r := range recs {
+		k := key{r.Name, r.Threads}
+		m[k] = r
+		order = append(order, k)
+	}
+	return m, order
+}
+
+func TestCompareGate(t *testing.T) {
+	base, baseOrder := mk(
+		figures.BenchRecord{Name: "map/read-heavy/uniform", Threads: 2, OpsPerSec: 1000, AllocsPerOp: 0.01},
+		figures.BenchRecord{Name: "fig1/val-short", Threads: 1, OpsPerSec: 500, AllocsPerOp: 0},
+		figures.BenchRecord{Name: "gone", Threads: 1, OpsPerSec: 100},
+	)
+	cur, curOrder := mk(
+		figures.BenchRecord{Name: "map/read-heavy/uniform", Threads: 2, OpsPerSec: 850, AllocsPerOp: 0.01}, // -15%: ok
+		figures.BenchRecord{Name: "fig1/val-short", Threads: 1, OpsPerSec: 390, AllocsPerOp: 0},            // -22%: fail
+		figures.BenchRecord{Name: "brand-new", Threads: 4, OpsPerSec: 10},
+	)
+	rows := compare(base, baseOrder, cur, curOrder, 0.20, 0.02)
+	got := map[string]row{}
+	for _, r := range rows {
+		got[r.k.Name] = r
+	}
+	if r := got["map/read-heavy/uniform"]; r.failing || r.status != "ok" {
+		t.Errorf("15%% drop should pass, got %+v", r)
+	}
+	if r := got["fig1/val-short"]; !r.failing || !strings.Contains(r.status, "ops/s") {
+		t.Errorf("22%% drop should fail, got %+v", r)
+	}
+	if r := got["gone"]; r.failing || r.status != "missing" {
+		t.Errorf("missing point must warn, not fail: %+v", r)
+	}
+	if r := got["brand-new"]; r.failing || r.status != "new" {
+		t.Errorf("new point must not fail: %+v", r)
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	base, baseOrder := mk(
+		figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 100, AllocsPerOp: 0.00},
+		figures.BenchRecord{Name: "b", Threads: 1, OpsPerSec: 100, AllocsPerOp: 0.50},
+	)
+	cur, curOrder := mk(
+		figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 100, AllocsPerOp: 0.30}, // +0.30: fail
+		figures.BenchRecord{Name: "b", Threads: 1, OpsPerSec: 100, AllocsPerOp: 0.51}, // within slack
+	)
+	rows := compare(base, baseOrder, cur, curOrder, 0.20, 0.02)
+	if !rows[0].failing || !strings.Contains(rows[0].status, "allocs") {
+		t.Errorf("alloc increase should fail, got %+v", rows[0])
+	}
+	if rows[1].failing {
+		t.Errorf("alloc jitter within slack should pass, got %+v", rows[1])
+	}
+}
+
+func TestMarkdownShape(t *testing.T) {
+	base, baseOrder := mk(figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 200, AllocsPerOp: 0})
+	cur, curOrder := mk(figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 100, AllocsPerOp: 0})
+	md := markdown(compare(base, baseOrder, cur, curOrder, 0.20, 0.02), 0.20)
+	for _, want := range []string{"| a | 1 |", "-50.0%", "**REGRESSION: ops/s**", "| benchmark |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -42,7 +42,7 @@ func parseThreads(s string) ([]int, error) {
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 1, 5, 6, 7, 8, 9, 10, map, or all")
+		figure   = flag.String("figure", "all", "figure to regenerate: 1, 5, 6, 7, 8, 9, 10, map, net, or all")
 		duration = flag.Duration("duration", time.Second, "measurement time per experiment point")
 		threads  = flag.String("threads", "", "comma-separated thread counts; sorted and de-duplicated (default 1..2*GOMAXPROCS)")
 		keyrange = flag.Uint64("keyrange", 65536, "integer-set key range / map key population")
@@ -80,11 +80,18 @@ func main() {
 	runners := map[string]func(figures.Options) error{
 		"1": figures.Fig1, "5": figures.Fig5, "6": figures.Fig6,
 		"7": figures.Fig7, "8": figures.Fig8, "9": figures.Fig9,
-		"10": figures.Fig10, "map": figures.FigMap, "all": figures.All,
+		"10": figures.Fig10, "map": figures.FigMap, "net": figures.FigNet,
+		"all": figures.All,
 	}
 	run, ok := runners[*figure]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "spectm-bench: unknown figure %q\n", *figure)
+		known := make([]string, 0, len(runners))
+		for name := range runners {
+			known = append(known, name)
+		}
+		slices.Sort(known)
+		fmt.Fprintf(os.Stderr, "spectm-bench: unknown figure %q (known figures: %s)\n",
+			*figure, strings.Join(known, ", "))
 		os.Exit(2)
 	}
 	if err := run(opts); err != nil {

@@ -1,0 +1,137 @@
+// Command spectm-loadgen drives a spectm-server with closed-loop
+// pipelined key-value traffic and reports client-observed throughput,
+// in the same machine-readable BenchRecord format as spectm-bench.
+//
+// Usage:
+//
+//	spectm-loadgen -addr 127.0.0.1:6399 -conns 8 -pipeline 16 -duration 10s
+//	spectm-loadgen -selfserve -conns 4 -json BENCH_net.json
+//
+// The connection dial retries for a few seconds, so starting the server
+// and the load generator simultaneously (as CI does) is safe.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"spectm/internal/figures"
+	"spectm/internal/harness"
+	"spectm/internal/server"
+)
+
+// parseMix parses "get,set,del,cas,swap2,mget" percentages.
+func parseMix(s string) ([6]int, error) {
+	var mix [6]int
+	parts := strings.Split(s, ",")
+	if len(parts) != 6 {
+		return mix, fmt.Errorf("mix %q: want 6 comma-separated percentages (get,set,del,cas,swap2,mget)", s)
+	}
+	sum := 0
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return mix, fmt.Errorf("mix %q: bad percentage %q", s, p)
+		}
+		mix[i] = n
+		sum += n
+	}
+	if sum != 100 {
+		return mix, fmt.Errorf("mix %q sums to %d, want 100", s, sum)
+	}
+	return mix, nil
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "server address (required unless -selfserve)")
+		selfserve = flag.Bool("selfserve", false, "start an in-process spectm-server on a loopback port and drive it")
+		conns     = flag.Int("conns", 4, "concurrent connections")
+		pipeline  = flag.Int("pipeline", 16, "commands in flight per connection")
+		keys      = flag.Int("keys", 16384, "distinct key population (preloaded before measuring)")
+		duration  = flag.Duration("duration", 5*time.Second, "measurement time")
+		dist      = flag.String("dist", "uniform", "key distribution: uniform or zipf")
+		mixFlag   = flag.String("mix", "70,20,3,3,2,2", "op mix percentages get,set,del,cas,swap2,mget (sum 100)")
+		seed      = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		jsonPath  = flag.String("json", "", "file for machine-readable benchmark records (optional)")
+		name      = flag.String("name", "loadgen", "benchmark record name prefix")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spectm-loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	if *addr == "" && !*selfserve {
+		fmt.Fprintf(os.Stderr, "spectm-loadgen: -addr is required (or use -selfserve)\n")
+		os.Exit(2)
+	}
+
+	target := *addr
+	if *selfserve {
+		srv, err := server.New(server.WithMaxConns(*conns + 2))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spectm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			fmt.Fprintf(os.Stderr, "spectm-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		go srv.Serve()
+		defer srv.Shutdown()
+		target = srv.Addr().String()
+		fmt.Printf("self-serving on %s\n", target)
+	}
+
+	res, err := harness.RunNet(harness.NetWorkload{
+		Addr:  target,
+		Conns: *conns, Pipeline: *pipeline, Keys: *keys,
+		GetPct: mix[0], SetPct: mix[1], DelPct: mix[2],
+		CASPct: mix[3], SwapPct: mix[4], MGetPct: mix[5],
+		Dist: *dist, Duration: *duration, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spectm-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("target            %s\n", target)
+	fmt.Printf("conns × pipeline  %d × %d\n", *conns, *pipeline)
+	fmt.Printf("mix get/set/del/cas/swap2/mget  %d/%d/%d/%d/%d/%d  dist %s\n",
+		mix[0], mix[1], mix[2], mix[3], mix[4], mix[5], *dist)
+	fmt.Printf("ops               %d in %v\n", res.Ops, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput        %.0f ops/s\n", res.OpsPerSec)
+	fmt.Printf("client allocs/op  %.3f\n", res.AllocsPerOp)
+	fmt.Printf("per command       get %d  set %d  del %d  cas %d  swap2 %d  mget %d\n",
+		res.Gets, res.Sets, res.Dels, res.CASes, res.Swaps, res.MGets)
+	fmt.Printf("errors            %d\n", res.Errors)
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "spectm-loadgen: %d errors during run\n", res.Errors)
+		os.Exit(1)
+	}
+
+	if *jsonPath != "" {
+		records := []figures.BenchRecord{{
+			Name:        *name + "/" + *dist,
+			Threads:     *conns,
+			OpsPerSec:   res.OpsPerSec,
+			AllocsPerOp: res.AllocsPerOp,
+		}}
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spectm-loadgen: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d benchmark records to %s\n", len(records), *jsonPath)
+	}
+}

@@ -1,0 +1,73 @@
+// Command spectm-server serves a sharded transactional key-value map
+// (spectm.Map) over TCP with a minimal RESP-like pipelined protocol.
+// Every wire command executes as a statically sized short transaction;
+// see the package README for the protocol grammar and internal/server
+// for the command → arity table.
+//
+// Usage:
+//
+//	spectm-server -addr 127.0.0.1:6399 -maxconns 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"spectm/internal/core"
+	"spectm/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:6399", "listen address")
+		maxConns = flag.Int("maxconns", 256, "maximum concurrent connections")
+		shards   = flag.Int("shards", 0, "map shard count (0 = default: ≥ GOMAXPROCS)")
+		buckets  = flag.Int("buckets", 0, "initial buckets per shard (0 = default 64)")
+		layout   = flag.String("layout", "val", "engine meta-data layout: val, tvar or orec")
+	)
+	flag.Parse()
+
+	var l core.Layout
+	switch *layout {
+	case "val":
+		l = core.LayoutVal
+	case "tvar":
+		l = core.LayoutTVar
+	case "orec":
+		l = core.LayoutOrec
+	default:
+		fmt.Fprintf(os.Stderr, "spectm-server: unknown layout %q (known: val, tvar, orec)\n", *layout)
+		os.Exit(2)
+	}
+
+	s, err := server.New(
+		server.WithMaxConns(*maxConns),
+		server.WithShards(*shards),
+		server.WithInitialBuckets(*buckets),
+		server.WithLayout(l),
+	)
+	if err != nil {
+		log.Fatalf("spectm-server: %v", err)
+	}
+	if err := s.Listen(*addr); err != nil {
+		log.Fatalf("spectm-server: %v", err)
+	}
+	log.Printf("spectm-server: listening on %s (layout=%s maxconns=%d)", s.Addr(), *layout, *maxConns)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("spectm-server: shutting down, draining connections")
+		s.Shutdown()
+	}()
+
+	if err := s.Serve(); err != server.ErrServerClosed {
+		log.Fatalf("spectm-server: %v", err)
+	}
+	log.Printf("spectm-server: bye")
+}

@@ -277,9 +277,9 @@ func Fig10(o Options) error {
 	})
 }
 
-// All runs every figure, plus the forward-looking map series.
+// All runs every figure, plus the forward-looking map and net series.
 func All(o Options) error {
-	for _, f := range []func(Options) error{Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, FigMap} {
+	for _, f := range []func(Options) error{Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, FigMap, FigNet} {
 		if err := f(o); err != nil {
 			return err
 		}

@@ -1,0 +1,95 @@
+// The "net" series: spectm-server throughput over real sockets, driven
+// by the closed-loop pipelined load generator. Where the "map" series
+// measures the sharded map in-process, this one measures the full
+// serving stack — wire decode, short transaction, wire encode — across
+// many connections, the workload dimension the ROADMAP's traffic goal
+// lives in. Not a figure of the paper.
+package figures
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spectm/internal/harness"
+	"spectm/internal/server"
+)
+
+// netMix is one traffic profile of the net series.
+type netMix struct {
+	name                           string
+	get, set, del, cas, swap, mget int
+}
+
+var netMixes = []netMix{
+	{"read-heavy", 85, 10, 1, 2, 1, 1}, // cache-like
+	{"mixed", 55, 25, 8, 6, 3, 3},      // session-store churn
+}
+
+// netPipeline is the series' fixed pipeline depth.
+const netPipeline = 16
+
+// FigNet starts an in-process spectm-server on a loopback socket and
+// sweeps connection counts (the Threads option doubles as the
+// connection sweep) over every (mix, distribution) profile.
+func FigNet(o Options) error {
+	o = o.withDefaults()
+	maxConns := 2
+	for _, c := range o.Threads {
+		if c > maxConns {
+			maxConns = c
+		}
+	}
+	srv, err := server.New(server.WithMaxConns(maxConns + 2))
+	if err != nil {
+		return err
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return err
+	}
+	go srv.Serve()
+	defer srv.Shutdown()
+	addr := srv.Addr().String()
+
+	keys := int(o.KeyRange)
+	fmt.Fprintf(o.Out, "\n== net: spectm-server on %s, %d keys, pipeline %d ==\n",
+		addr, keys, netPipeline)
+	fmt.Fprintf(o.Out, "%-8s %-12s %-9s %14s %12s %10s\n",
+		"conns", "mix", "dist", "ops/s", "allocs/op", "errors")
+
+	var csv *os.File
+	if o.CSVDir != "" {
+		f, err := os.Create(filepath.Join(o.CSVDir, "net.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csv = f
+		fmt.Fprintln(csv, "conns,mix,dist,ops_per_sec,allocs_per_op,errors")
+	}
+
+	for _, conns := range o.Threads {
+		for _, mix := range netMixes {
+			for _, dist := range mapDists {
+				res, err := harness.RunNet(harness.NetWorkload{
+					Addr: addr, Conns: conns, Pipeline: netPipeline,
+					Keys:   keys,
+					GetPct: mix.get, SetPct: mix.set, DelPct: mix.del,
+					CASPct: mix.cas, SwapPct: mix.swap, MGetPct: mix.mget,
+					Dist: dist, Duration: o.Duration, Seed: o.Seed,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(o.Out, "%-8d %-12s %-9s %14.0f %12.3f %10d\n",
+					conns, mix.name, dist, res.OpsPerSec, res.AllocsPerOp, res.Errors)
+				o.record("net/"+mix.name+"/"+dist, conns, res.OpsPerSec, res.AllocsPerOp)
+				if csv != nil {
+					fmt.Fprintf(csv, "%d,%s,%s,%.0f,%.4f,%d\n",
+						conns, mix.name, dist, res.OpsPerSec, res.AllocsPerOp, res.Errors)
+				}
+			}
+		}
+	}
+	return nil
+}

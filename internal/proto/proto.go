@@ -1,0 +1,64 @@
+// Package proto implements the spectm-server wire protocol: a minimal
+// RESP-like (REdis Serialization Protocol) framing for pipelined
+// request/reply streams over a byte connection.
+//
+// # Grammar
+//
+// A client sends commands either as an array of bulk strings
+//
+//	*<argc>\r\n $<len>\r\n <bytes>\r\n  ...   e.g. *2\r\n$3\r\nGET\r\n$1\r\nk\r\n
+//
+// or, for human use (telnet), as an inline command — one line of
+// space-separated words terminated by \n (an optional \r is stripped):
+//
+//	GET k\r\n
+//
+// The server answers each command with exactly one reply:
+//
+//	+<text>\r\n        simple string (e.g. +OK, +PONG)
+//	-<text>\r\n        error (e.g. -ERR unknown command 'FOO')
+//	:<int>\r\n         integer
+//	$<len>\r\n<bytes>\r\n   bulk string
+//	$-1\r\n            null (absent key)
+//	*<n>\r\n           array header, followed by n element replies
+//
+// Both sides may pipeline freely: a client can write any number of
+// commands before reading replies; replies come back in command order.
+//
+// # Zero-copy, zero-allocation framing
+//
+// Reader and Writer own growable buffers that reach a steady size and
+// are then reused forever: parsing a command or reply performs no
+// allocation, and the returned argument/payload byte slices alias the
+// Reader's buffer — they are valid only until the next Read*/Next call.
+// Callers that retain data (e.g. a map insert) must copy it out.
+package proto
+
+import "errors"
+
+// Limits. Violations are protocol errors: the peer is buggy or
+// malicious, and the connection should be dropped.
+const (
+	// MaxArgs bounds the number of arguments of one command.
+	MaxArgs = 128
+	// MaxBulk bounds one bulk-string payload (command argument or
+	// reply body).
+	MaxBulk = 1 << 20
+	// MaxInline bounds one inline command line.
+	MaxInline = 1 << 16
+	// MaxArray bounds one reply array header.
+	MaxArray = 1 << 16
+)
+
+// Reply kinds, as the leading wire byte.
+const (
+	KindSimple = byte('+')
+	KindError  = byte('-')
+	KindInt    = byte(':')
+	KindBulk   = byte('$')
+	KindArray  = byte('*')
+)
+
+// ErrProtocol reports malformed input on the stream. After it, the
+// stream is unsynchronized and must be closed.
+var ErrProtocol = errors.New("proto: protocol error")

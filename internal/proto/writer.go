@@ -1,0 +1,165 @@
+package proto
+
+import (
+	"io"
+	"strconv"
+)
+
+// Writer encodes replies (server side) or commands (client side) into a
+// reused buffer flushed to the underlying stream. The first write error
+// latches: later appends become no-ops and Flush keeps returning it.
+// Not safe for concurrent use.
+type Writer struct {
+	dst io.Writer
+	buf []byte
+	err error
+}
+
+// softCap is the buffered size beyond which appends flush eagerly, so a
+// deep pipeline of bulk replies cannot grow the buffer without bound.
+const softCap = 64 << 10
+
+// NewWriter wraps dst.
+func NewWriter(dst io.Writer) *Writer {
+	return &Writer{dst: dst, buf: make([]byte, 0, 4096)}
+}
+
+// Reset re-arms the writer on a new stream, keeping the buffer.
+func (w *Writer) Reset(dst io.Writer) {
+	w.dst = dst
+	w.buf = w.buf[:0]
+	w.err = nil
+}
+
+// Flush writes the buffered frames to the stream.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, w.err = w.dst.Write(w.buf)
+	w.buf = w.buf[:0]
+	return w.err
+}
+
+// Err returns the latched write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) room() bool {
+	if w.err != nil {
+		return false
+	}
+	if len(w.buf) >= softCap {
+		if w.Flush() != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *Writer) crlf() { w.buf = append(w.buf, '\r', '\n') }
+
+// SimpleString writes +s.
+func (w *Writer) SimpleString(s string) {
+	if !w.room() {
+		return
+	}
+	w.buf = append(w.buf, KindSimple)
+	w.buf = append(w.buf, s...)
+	w.crlf()
+}
+
+// Error writes an error reply -msg.
+func (w *Writer) Error(msg string) {
+	if !w.room() {
+		return
+	}
+	w.buf = append(w.buf, KindError)
+	w.buf = append(w.buf, msg...)
+	w.crlf()
+}
+
+// Int writes an integer reply :n.
+func (w *Writer) Int(n int64) {
+	if !w.room() {
+		return
+	}
+	w.buf = append(w.buf, KindInt)
+	w.buf = strconv.AppendInt(w.buf, n, 10)
+	w.crlf()
+}
+
+// Uint writes an integer reply :u.
+func (w *Writer) Uint(u uint64) {
+	if !w.room() {
+		return
+	}
+	w.buf = append(w.buf, KindInt)
+	w.buf = strconv.AppendUint(w.buf, u, 10)
+	w.crlf()
+}
+
+// Null writes the null bulk reply $-1.
+func (w *Writer) Null() {
+	if !w.room() {
+		return
+	}
+	w.buf = append(w.buf, "$-1\r\n"...)
+}
+
+// Bulk writes a bulk-string reply.
+func (w *Writer) Bulk(b []byte) {
+	if !w.room() {
+		return
+	}
+	w.buf = append(w.buf, KindBulk)
+	w.buf = strconv.AppendInt(w.buf, int64(len(b)), 10)
+	w.crlf()
+	w.buf = append(w.buf, b...)
+	w.crlf()
+}
+
+// BulkString writes a bulk-string reply from a string.
+func (w *Writer) BulkString(s string) {
+	if !w.room() {
+		return
+	}
+	w.buf = append(w.buf, KindBulk)
+	w.buf = strconv.AppendInt(w.buf, int64(len(s)), 10)
+	w.crlf()
+	w.buf = append(w.buf, s...)
+	w.crlf()
+}
+
+// Array writes an array header for n element replies.
+func (w *Writer) Array(n int) {
+	if !w.room() {
+		return
+	}
+	w.buf = append(w.buf, KindArray)
+	w.buf = strconv.AppendInt(w.buf, int64(n), 10)
+	w.crlf()
+}
+
+// Command framing (client side): an Array header for 1+argc entries,
+// then one Arg* call per word. Example:
+//
+//	w.Array(3); w.Arg("SET"); w.Arg(key); w.ArgUint(42)
+
+// Arg writes one command argument as a bulk string.
+func (w *Writer) Arg(s string) { w.BulkString(s) }
+
+// ArgBytes writes one command argument as a bulk string.
+func (w *Writer) ArgBytes(b []byte) { w.Bulk(b) }
+
+// ArgUint writes one numeric command argument in decimal.
+func (w *Writer) ArgUint(u uint64) {
+	if !w.room() {
+		return
+	}
+	var tmp [20]byte
+	num := strconv.AppendUint(tmp[:0], u, 10)
+	w.Bulk(num)
+}

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"unsafe"
+
+	"spectm/internal/proto"
+	"spectm/internal/shardmap"
+	"spectm/internal/word"
+)
+
+// Command → short-transaction arity (the spectm.Map hot paths):
+//
+//	GET k            ShortRO2 (node.next, node.val)
+//	SET k v, update  ShortRO1 + LockRead → ShortRO1RW1 combined commit
+//	SET k v, insert  chain walk + SingleCAS (clones the key: the only
+//	                 hot command that must retain bytes beyond the call)
+//	DEL k            ShortRW2 mark + unlink
+//	CAS k old new    ShortRO2 + Upgrade2 → ShortRO2RW1 combined commit
+//	SWAP2 k1 k2      ShortRO2 + LockRead×2 → ShortRO2RW2 combined commit
+//	MGET k1 k2       ShortRO4 (both keys present and distinct)
+//	MGET k1..kn      one full read-only transaction
+//	STATS, PING      no transaction
+//
+// Keys are passed to the map as zero-copy views of the read buffer
+// (safe: those paths never retain the key), so steady-state commands
+// run the whole decode→transaction→encode path without allocating.
+type conn struct {
+	s  *Server
+	nc net.Conn
+	rd *proto.Reader
+	wr *proto.Writer
+	th *shardmap.Thread
+
+	// reused MGET scratch
+	mkeys  []string
+	mvals  []shardmap.Value
+	mfound []bool
+	// reused STATS scratch
+	stats []byte
+}
+
+// bstr views b as a string without copying. The result aliases the
+// connection's read buffer: it is only valid during the current command
+// and must never be stored (inserts clone first).
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// cmdEq reports whether b equals the upper-case command name,
+// ASCII-case-insensitively.
+func cmdEq(b []byte, upper string) bool {
+	if len(b) != len(upper) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseVal decodes a decimal payload argument.
+func parseVal(b []byte) (word.Value, bool) {
+	u, err := strconv.ParseUint(bstr(b), 10, 64)
+	if err != nil || u > word.MaxPayload {
+		return 0, false
+	}
+	return word.FromUint(u), true
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer nc.Close()
+	th, ok := s.getThread()
+	if !ok {
+		s.refused.Add(1)
+		nc.Write([]byte("-ERR max connections reached\r\n"))
+		return
+	}
+	defer s.putThread(th)
+	s.accepted.Add(1)
+
+	c := &conn{s: s, nc: nc, rd: proto.NewReader(nc), wr: proto.NewWriter(nc), th: th}
+	if !s.track(c) {
+		// Raced a Shutdown; don't serve a connection Shutdown can't see.
+		return
+	}
+	defer s.untrack(c)
+
+	// The flush discipline that makes pipelining work: whenever the
+	// reader is about to block on the socket, pending replies go out
+	// first.
+	c.rd.OnFill = c.wr.Flush
+
+	for {
+		args, err := c.rd.Next()
+		if err != nil {
+			// EOF, peer reset, protocol error, or the Shutdown read
+			// deadline. Everything read so far has been executed —
+			// Next only fails once the buffered input is exhausted —
+			// so flushing here completes the drain.
+			c.wr.Flush()
+			return
+		}
+		if len(args) == 0 {
+			continue // blank inline line
+		}
+		c.execute(args)
+	}
+}
+
+func (c *conn) execute(args [][]byte) {
+	cmd, args := args[0], args[1:]
+	switch {
+	case cmdEq(cmd, "GET"):
+		if len(args) != 1 {
+			c.wr.Error("ERR wrong number of arguments for 'GET'")
+			return
+		}
+		if v, ok := c.th.Get(bstr(args[0])); ok {
+			c.wr.Uint(v.Uint())
+		} else {
+			c.wr.Null()
+		}
+	case cmdEq(cmd, "SET"):
+		if len(args) != 2 {
+			c.wr.Error("ERR wrong number of arguments for 'SET'")
+			return
+		}
+		v, ok := parseVal(args[1])
+		if !ok {
+			c.wr.Error("ERR value is not an integer in [0, 2^62)")
+			return
+		}
+		if !c.th.Update(bstr(args[0]), v) {
+			// First write to this key: clone it out of the read buffer
+			// and publish a fresh node. (A concurrent insert between
+			// the Update miss and this Put just turns it back into an
+			// update, which is fine — the clone is then garbage.)
+			c.th.Put(strings.Clone(bstr(args[0])), v)
+		}
+		c.wr.SimpleString("OK")
+	case cmdEq(cmd, "DEL"):
+		if len(args) != 1 {
+			c.wr.Error("ERR wrong number of arguments for 'DEL'")
+			return
+		}
+		c.boolReply(c.th.Delete(bstr(args[0])))
+	case cmdEq(cmd, "CAS"):
+		if len(args) != 3 {
+			c.wr.Error("ERR wrong number of arguments for 'CAS'")
+			return
+		}
+		old, ok1 := parseVal(args[1])
+		new, ok2 := parseVal(args[2])
+		if !ok1 || !ok2 {
+			c.wr.Error("ERR value is not an integer in [0, 2^62)")
+			return
+		}
+		c.boolReply(c.th.CompareAndSwap(bstr(args[0]), old, new))
+	case cmdEq(cmd, "SWAP2"):
+		if len(args) != 2 {
+			c.wr.Error("ERR wrong number of arguments for 'SWAP2'")
+			return
+		}
+		c.boolReply(c.th.Swap2(bstr(args[0]), bstr(args[1])))
+	case cmdEq(cmd, "MGET"):
+		if len(args) == 0 {
+			c.wr.Error("ERR wrong number of arguments for 'MGET'")
+			return
+		}
+		c.mget(args)
+	case cmdEq(cmd, "STATS"):
+		c.statsReply()
+	case cmdEq(cmd, "PING"):
+		c.wr.SimpleString("PONG")
+	default:
+		c.wr.Error(fmt.Sprintf("ERR unknown command '%s'", cmd))
+	}
+}
+
+func (c *conn) boolReply(ok bool) {
+	if ok {
+		c.wr.Int(1)
+	} else {
+		c.wr.Int(0)
+	}
+}
+
+// mget answers one atomic multi-key snapshot: ≤2 distinct present keys
+// ride the ShortRO4 path inside GetBatch, anything wider one full
+// read-only transaction.
+func (c *conn) mget(args [][]byte) {
+	n := len(args)
+	if cap(c.mkeys) < n {
+		c.mkeys = make([]string, n)
+		c.mvals = make([]shardmap.Value, n)
+		c.mfound = make([]bool, n)
+	}
+	keys, vals, found := c.mkeys[:n], c.mvals[:n], c.mfound[:n]
+	for i, a := range args {
+		keys[i] = bstr(a)
+	}
+	c.th.GetBatch(keys, vals, found)
+	c.wr.Array(n)
+	for i := range keys {
+		if found[i] {
+			c.wr.Uint(vals[i].Uint())
+		} else {
+			c.wr.Null()
+		}
+	}
+}
+
+// statsReply reports the map's live aggregate operation counters plus
+// server-level connection counts as one bulk string of "name value"
+// lines.
+func (c *conn) statsReply() {
+	s := c.s
+	st := s.m.OpStats()
+	s.mu.Lock()
+	live := len(s.conns)
+	s.mu.Unlock()
+
+	b := c.stats[:0]
+	appendStat := func(name string, v uint64) {
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, v, 10)
+		b = append(b, '\n')
+	}
+	appendStat("keys", uint64(s.m.Len()))
+	appendStat("conns", uint64(live))
+	appendStat("accepted", s.accepted.Load())
+	appendStat("refused", s.refused.Load())
+	appendStat("ops", st.Ops())
+	appendStat("gets", st.Gets)
+	appendStat("get_hits", st.GetHits)
+	appendStat("puts", st.Puts)
+	appendStat("inserts", st.Inserts)
+	appendStat("updates", st.Updates)
+	appendStat("update_hits", st.UpdateHits)
+	appendStat("deletes", st.Deletes)
+	appendStat("delete_hits", st.DeleteHits)
+	appendStat("cas", st.CAS)
+	appendStat("cas_hits", st.CASHits)
+	appendStat("swap2", st.Swaps)
+	appendStat("swap2_hits", st.SwapHits)
+	appendStat("mgets", st.Batches)
+	appendStat("mget_keys", st.BatchKeys)
+	c.stats = b
+	c.wr.Bulk(b)
+}

@@ -1,0 +1,247 @@
+// Package server implements spectm-server: a TCP key-value service
+// whose command set maps one-to-one onto the short-transaction arities
+// powering spectm.Map. Every wire command dispatches to a statically
+// sized short transaction (see conn.go for the table), so the per-command
+// execution path — decode from the connection's reused read buffer, run
+// the transaction, encode into the reused write buffer — performs zero
+// heap allocations for the hot commands (GET, SET on an existing key,
+// DEL, CAS, SWAP2).
+//
+// The protocol (internal/proto) is RESP-like and fully pipelined: a
+// connection may write any number of commands before reading replies,
+// and the server flushes its reply buffer exactly when it would
+// otherwise block reading more input.
+//
+// Connections are served by a pool of map threads: engine thread
+// descriptors are a bounded resource (Config.MaxThreads) and have no
+// unregister operation, so the pool recycles them across connection
+// churn instead of registering per accept.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spectm/internal/core"
+	"spectm/internal/shardmap"
+)
+
+// Option configures a Server.
+type Option func(*config)
+
+type config struct {
+	maxConns int
+	shards   int
+	buckets  int
+	layout   core.Layout
+}
+
+// WithMaxConns bounds concurrently served connections (default 64).
+// Accepts beyond the bound are refused with an error reply.
+func WithMaxConns(n int) Option { return func(c *config) { c.maxConns = n } }
+
+// WithShards sets the map's shard count (see shardmap.WithShards).
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithInitialBuckets sets the map's per-shard initial bucket count.
+func WithInitialBuckets(n int) Option { return func(c *config) { c.buckets = n } }
+
+// WithLayout selects the engine meta-data layout (default LayoutVal,
+// the paper's fastest for short transactions).
+func WithLayout(l core.Layout) Option { return func(c *config) { c.layout = l } }
+
+// Server is a spectm-server instance: one engine, one sharded map, one
+// listener.
+type Server struct {
+	cfg config
+	e   *core.Engine
+	m   *shardmap.Map
+
+	ln      net.Listener
+	mu      sync.Mutex
+	conns   map[*conn]struct{}
+	closing atomic.Bool
+	wg      sync.WaitGroup // serveConn goroutines
+
+	pool struct {
+		sync.Mutex
+		free []*shardmap.Thread
+		made int
+	}
+
+	accepted atomic.Uint64
+	refused  atomic.Uint64
+}
+
+// New builds a server (engine + map) without listening yet.
+func New(opts ...Option) (*Server, error) {
+	cfg := config{maxConns: 64, layout: core.LayoutVal}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxConns < 1 {
+		return nil, fmt.Errorf("server: max conns %d < 1", cfg.maxConns)
+	}
+	e, err := core.NewChecked(core.Config{Layout: cfg.layout, MaxThreads: cfg.maxConns + 2})
+	if err != nil {
+		return nil, err
+	}
+	var mopts []shardmap.Option
+	if cfg.shards > 0 {
+		mopts = append(mopts, shardmap.WithShards(cfg.shards))
+	}
+	if cfg.buckets > 0 {
+		mopts = append(mopts, shardmap.WithInitialBuckets(cfg.buckets))
+	}
+	return &Server{
+		cfg:   cfg,
+		e:     e,
+		m:     shardmap.New(e, mopts...),
+		conns: make(map[*conn]struct{}),
+	}, nil
+}
+
+// Map exposes the backing map (in-process mixing of direct transactions
+// with served traffic, tests, stats).
+func (s *Server) Map() *shardmap.Map { return s.m }
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0").
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address (after Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ErrServerClosed is returned by Serve after a Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections until Shutdown. Call after Listen.
+// Transient accept errors (fd exhaustion under a connection burst)
+// retry with capped backoff instead of killing the server.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return fmt.Errorf("server: Serve before Listen")
+	}
+	backoff := 5 * time.Millisecond
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return ErrServerClosed
+			}
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				continue
+			}
+			return err
+		}
+		backoff = 5 * time.Millisecond
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		// The Add must not race Shutdown's Wait: under s.mu it either
+		// lands before Shutdown's deadline sweep (counted) or observes
+		// closing and refuses the connection.
+		s.mu.Lock()
+		if s.closing.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Shutdown closes the listener and drains every connection: each one
+// finishes executing the commands it has already read (an in-flight
+// pipeline keeps draining until the connection would block on the
+// socket), flushes its replies, and closes. Shutdown returns when all
+// connection goroutines have exited.
+func (s *Server) Shutdown() error {
+	if s.closing.Swap(true) {
+		s.wg.Wait()
+		return nil
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		// Unblock a reader parked in a socket read; conn.serve drains
+		// buffered commands and exits on the deadline error.
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// track registers a live connection; it reports false (and does not
+// register) when the server is already draining.
+func (s *Server) track(c *conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing.Load() {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// getThread leases a map thread from the pool.
+func (s *Server) getThread() (*shardmap.Thread, bool) {
+	p := &s.pool
+	p.Lock()
+	defer p.Unlock()
+	if n := len(p.free); n > 0 {
+		th := p.free[n-1]
+		p.free = p.free[:n-1]
+		return th, true
+	}
+	if p.made >= s.cfg.maxConns {
+		return nil, false
+	}
+	p.made++
+	return s.m.NewThread(), true
+}
+
+func (s *Server) putThread(th *shardmap.Thread) {
+	p := &s.pool
+	p.Lock()
+	p.free = append(p.free, th)
+	p.Unlock()
+}

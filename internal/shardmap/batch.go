@@ -16,11 +16,13 @@ func (x *Thread) GetBatch(keys []string, vals []Value, found []bool) {
 	if len(vals) < len(keys) || len(found) < len(keys) {
 		panic("shardmap: GetBatch needs vals/found at least as long as keys")
 	}
+	x.ops.batches.Add(1)
+	x.ops.batchKeys.Add(uint64(len(keys)))
 	switch len(keys) {
 	case 0:
 		return
 	case 1:
-		vals[0], found[0] = x.Get(keys[0])
+		vals[0], found[0] = x.get(keys[0])
 		return
 	case 2:
 		if keys[0] != keys[1] && x.getPair(keys, vals, found) {

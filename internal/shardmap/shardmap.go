@@ -138,6 +138,9 @@ type Map struct {
 	shardMask uint64
 	shardBits uint
 	idSeq     atomic.Uint64 // bucket identity allocator
+
+	thrMu       sync.Mutex    // guards thrCounters
+	thrCounters []*opCounters // one slot set per attached Thread
 }
 
 // ceilPow2 rounds n up to a power of two (min 1).
@@ -225,8 +228,9 @@ func (m *Map) bidx(t *table, h uint64) uint64 { return (h >> m.shardBits) & t.ma
 // Thread is a per-goroutine handle on a Map. A Thread must not be shared
 // between goroutines; create one per worker with NewThread.
 type Thread struct {
-	m *Map
-	t *core.Thr
+	m   *Map
+	t   *core.Thr
+	ops opCounters
 
 	// migration scratch, reused across resizes
 	mchain []arena.Handle
@@ -236,12 +240,16 @@ type Thread struct {
 }
 
 // NewThread registers a worker with the map's engine.
-func (m *Map) NewThread() *Thread { return &Thread{m: m, t: m.e.Register()} }
+func (m *Map) NewThread() *Thread { return m.AttachThread(m.e.Register()) }
 
 // AttachThread wraps an existing engine thread (registered on the map's
 // engine) so map operations interleave with the caller's other
 // transactions on the same descriptor.
-func (m *Map) AttachThread(t *core.Thr) *Thread { return &Thread{m: m, t: t} }
+func (m *Map) AttachThread(t *core.Thr) *Thread {
+	x := &Thread{m: m, t: t}
+	m.registerCounters(&x.ops)
+	return x
+}
 
 // Thr exposes the underlying engine thread (stats, epochs).
 func (x *Thread) Thr() *core.Thr { return x.t }
@@ -309,6 +317,12 @@ func (x *Thread) search(sh *shard, tb *table, h uint64, key string) (prev core.V
 // read with one 2-location read-only short transaction, so a concurrent
 // update, removal or migration can never produce a torn observation.
 func (x *Thread) Get(key string) (Value, bool) {
+	v, ok := x.get(key)
+	count(&x.ops.gets, &x.ops.getHits, ok)
+	return v, ok
+}
+
+func (x *Thread) get(key string) (Value, bool) {
 	h := x.m.hash(key)
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
@@ -353,7 +367,67 @@ func (x *Thread) Put(key string, val Value) bool {
 	} else if !spare.IsNil() {
 		sh.a.Free(spare) // lost the insert race; never published
 	}
+	count(&x.ops.puts, &x.ops.inserts, inserted)
 	return inserted
+}
+
+// Update stores val under key only when the key is already present,
+// reporting whether it was. It is Put's update half — the same combined
+// ShortRO1RW1 commit that re-validates the node's liveness link while
+// the value word is locked and rewritten — with the insert path removed.
+// Unlike Put, Update never retains key, so callers that parse keys out
+// of reused I/O buffers can pass a zero-copy view and only fall back to
+// cloning the key for a real insert.
+func (x *Thread) Update(key string, val Value) bool {
+	ok := x.update(key, val)
+	count(&x.ops.updates, &x.ops.updateHits, ok)
+	return ok
+}
+
+func (x *Thread) update(key string, val Value) bool {
+	h := x.m.hash(key)
+	sh := x.m.shardOf(h)
+	x.t.Epoch.Enter()
+	defer x.t.Epoch.Exit()
+	for attempt := 1; ; attempt++ {
+		tb := x.route(sh, h)
+		_, _, cur, found, ok := x.search(sh, tb, h, key)
+		if !ok {
+			continue
+		}
+		if !found {
+			return false
+		}
+		if x.writeVal(sh, cur, val, attempt) == writeDone {
+			return true
+		}
+	}
+}
+
+// writeVal outcomes.
+const (
+	writeDone     = iota // value committed
+	writeStale           // node unlinked after the walk; re-resolve
+	writeConflict        // commit lost a race; backoff already applied
+)
+
+// writeVal runs the combined update commit on a found node: the
+// liveness link validates read-only while the value word is locked and
+// rewritten (ShortRO1 + LockRead → ShortRO1RW1.Commit). Shared by
+// Put's update half and Update.
+func (x *Thread) writeVal(sh *shard, cur arena.Handle, val Value, attempt int) int {
+	n := sh.a.Get(cur)
+	ro, nv := x.t.ShortRO1(x.m.nextVar(sh, cur, n))
+	if nv.Marked() {
+		ro.Discard()
+		return writeStale
+	}
+	c, _ := ro.LockRead(x.m.valVar(sh, cur, n))
+	if c.Commit(val) {
+		return writeDone
+	}
+	x.t.Backoff(attempt)
+	return writeConflict
 }
 
 func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *arena.Handle) bool {
@@ -364,17 +438,9 @@ func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *aren
 			continue
 		}
 		if found {
-			n := sh.a.Get(cur)
-			ro, nv := x.t.ShortRO1(x.m.nextVar(sh, cur, n))
-			if nv.Marked() {
-				ro.Discard()
-				continue // node unlinked after the walk; re-resolve
-			}
-			c, _ := ro.LockRead(x.m.valVar(sh, cur, n))
-			if c.Commit(val) {
+			if x.writeVal(sh, cur, val, attempt) == writeDone {
 				return false
 			}
-			x.t.Backoff(attempt)
 			continue
 		}
 		if spare.IsNil() {
@@ -396,6 +462,12 @@ func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *aren
 // transaction: the node's own link is marked (so concurrent walkers
 // restart) in the same commit that splices it out of the chain.
 func (x *Thread) Delete(key string) bool {
+	ok := x.del(key)
+	count(&x.ops.deletes, &x.ops.deleteHits, ok)
+	return ok
+}
+
+func (x *Thread) del(key string) bool {
 	h := x.m.hash(key)
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
@@ -434,6 +506,12 @@ func (x *Thread) Delete(key string) bool {
 // combined commit that validates the link under the write lock. It
 // returns false when the key is absent or holds a different value.
 func (x *Thread) CompareAndSwap(key string, old, new Value) bool {
+	ok := x.cas(key, old, new)
+	count(&x.ops.cas, &x.ops.casHits, ok)
+	return ok
+}
+
+func (x *Thread) cas(key string, old, new Value) bool {
 	h := x.m.hash(key)
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
@@ -474,8 +552,14 @@ func (x *Thread) CompareAndSwap(key string, old, new Value) bool {
 // (ShortRO2RW2). It returns false if either key is absent; a reader can
 // never observe a half-applied swap.
 func (x *Thread) Swap2(k1, k2 string) bool {
+	ok := x.swap2(k1, k2)
+	count(&x.ops.swaps, &x.ops.swapHits, ok)
+	return ok
+}
+
+func (x *Thread) swap2(k1, k2 string) bool {
 	if k1 == k2 {
-		_, ok := x.Get(k1)
+		_, ok := x.get(k1)
 		return ok
 	}
 	h1, h2 := x.m.hash(k1), x.m.hash(k2)

@@ -1,0 +1,133 @@
+package shardmap
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spectm/internal/core"
+	"spectm/internal/word"
+)
+
+func newTestMap(t *testing.T, threads int) *Map {
+	t.Helper()
+	e, err := core.NewChecked(core.Config{Layout: core.LayoutVal, MaxThreads: threads + 2})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	return New(e, WithShards(4), WithInitialBuckets(16))
+}
+
+func TestUpdate(t *testing.T) {
+	m := newTestMap(t, 1)
+	x := m.NewThread()
+
+	if x.Update("absent", word.FromUint(1)) {
+		t.Fatalf("Update invented a key")
+	}
+	if _, ok := x.Get("absent"); ok {
+		t.Fatalf("failed Update left a key behind")
+	}
+	if !x.Put("k", word.FromUint(1)) {
+		t.Fatalf("Put did not insert")
+	}
+	if !x.Update("k", word.FromUint(2)) {
+		t.Fatalf("Update missed a present key")
+	}
+	if v, ok := x.Get("k"); !ok || v.Uint() != 2 {
+		t.Fatalf("Get after Update = %v,%v want 2,true", v.Uint(), ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d want 1", m.Len())
+	}
+}
+
+// TestUpdateUnderContention checks Update against concurrent deleters:
+// every successful Update must have observed a live node.
+func TestUpdateUnderContention(t *testing.T) {
+	const workers = 4
+	m := newTestMap(t, 2*workers)
+	keys := make([]string, 64)
+	init := m.NewThread()
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%02d", i)
+		init.Put(keys[i], word.FromUint(uint64(i)))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(2)
+		go func(seed int) {
+			defer wg.Done()
+			x := m.NewThread()
+			for i := 0; i < 2000; i++ {
+				k := keys[(seed+i)%len(keys)]
+				if x.Update(k, word.FromUint(uint64(i))) {
+					continue
+				}
+				x.Put(k, word.FromUint(uint64(i)))
+			}
+		}(w)
+		go func(seed int) {
+			defer wg.Done()
+			x := m.NewThread()
+			for i := 0; i < 2000; i++ {
+				x.Delete(keys[(seed*7+i)%len(keys)])
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every key that survived must hold a value some Update/Put wrote.
+	check := m.NewThread()
+	for _, k := range keys {
+		if v, ok := check.Get(k); ok && v.Uint() >= 2000 && v.Uint() != uint64(len(keys)) {
+			t.Fatalf("key %s holds impossible value %d", k, v.Uint())
+		}
+	}
+}
+
+func TestOpStats(t *testing.T) {
+	m := newTestMap(t, 2)
+	x := m.NewThread()
+
+	x.Put("a", word.FromUint(1)) // insert
+	x.Put("a", word.FromUint(2)) // update
+	x.Get("a")                   // hit
+	x.Get("b")                   // miss
+	x.Update("a", word.FromUint(3))
+	x.Update("b", word.FromUint(3)) // miss
+	x.Delete("a")                   // hit
+	x.Delete("a")                   // miss
+	x.Put("c", word.FromUint(1))
+	x.CompareAndSwap("c", word.FromUint(1), word.FromUint(2)) // hit
+	x.CompareAndSwap("c", word.FromUint(9), word.FromUint(3)) // miss
+	x.Put("d", word.FromUint(4))
+	x.Swap2("c", "d") // hit
+	x.Swap2("c", "z") // miss
+	keys := []string{"c", "d"}
+	vals := make([]Value, 2)
+	found := make([]bool, 2)
+	x.GetBatch(keys, vals, found)
+
+	want := OpStats{
+		Gets: 2, GetHits: 1,
+		Puts: 4, Inserts: 3,
+		Updates: 2, UpdateHits: 1,
+		Deletes: 2, DeleteHits: 1,
+		CAS: 2, CASHits: 1,
+		Swaps: 2, SwapHits: 1,
+		Batches: 1, BatchKeys: 2,
+	}
+	if got := x.OpStats(); got != want {
+		t.Fatalf("thread OpStats\n got %+v\nwant %+v", got, want)
+	}
+	// A second thread's ops land in the map aggregate too.
+	y := m.NewThread()
+	y.Get("c")
+	agg := m.OpStats()
+	if agg.Gets != 3 || agg.GetHits != 2 {
+		t.Fatalf("aggregate Gets=%d GetHits=%d want 3,2", agg.Gets, agg.GetHits)
+	}
+	if agg.Ops() != want.Ops()+1 {
+		t.Fatalf("aggregate Ops=%d want %d", agg.Ops(), want.Ops()+1)
+	}
+}

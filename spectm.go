@@ -170,14 +170,20 @@ func DoRO3(t *Thr, a, b, c Var) (Value, Value, Value) { return core.DoRO3(t, a, 
 func DoRO4(t *Thr, a, b, c, d Var) (Value, Value, Value, Value) { return core.DoRO4(t, a, b, c, d) }
 
 // Map is a sharded, resizable, string-keyed transactional hash map whose
-// hot paths (Get, Put, Delete, CompareAndSwap, Swap2, 2-key GetBatch) are
-// statically sized short transactions; only per-shard incremental resize
-// uses full transactions. Create with NewMap, attach one MapThread per
-// worker goroutine.
+// hot paths (Get, Put, Update, Delete, CompareAndSwap, Swap2, 2-key
+// GetBatch) are statically sized short transactions; only per-shard
+// incremental resize uses full transactions. Create with NewMap, attach
+// one MapThread per worker goroutine. cmd/spectm-server serves a Map
+// over TCP with a pipelined RESP-like protocol whose commands dispatch
+// 1:1 onto these short-transaction paths.
 type Map = shardmap.Map
 
 // MapThread is a per-goroutine handle on a Map.
 type MapThread = shardmap.Thread
+
+// MapOpStats is a snapshot of map operation counters (per MapThread via
+// MapThread.OpStats, aggregated across threads via Map.OpStats).
+type MapOpStats = shardmap.OpStats
 
 // MapOption configures a Map under construction.
 type MapOption = shardmap.Option
