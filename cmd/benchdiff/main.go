@@ -12,9 +12,12 @@
 //	benchdiff -update -baseline BENCH_baseline.json current.json   # refresh baseline
 //
 // Records are matched by (name, threads). Points present only in the
-// current run are reported as "new" (not gated); points present only in
-// the baseline are reported as "missing" and warned about, so removing
-// a benchmark is visible but does not hard-fail a refactor.
+// current run are reported as "new", points present only in the
+// baseline as "missing"; both are listed in warning lines under the
+// markdown table so a silently renamed or dropped benchmark is visible
+// in the job summary. By default neither fails the gate (removing a
+// benchmark should not hard-fail a refactor); -strict turns any
+// missing or extra name into a failure.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"slices"
+	"strings"
 
 	"spectm/internal/figures"
 )
@@ -64,9 +68,13 @@ type row struct {
 }
 
 // compare joins baseline and current points and applies the gate.
+// Points whose baseline throughput is below minGateOps are exempt from
+// the ops/s check (their allocs are still gated): fsync-latency-bound
+// series like durable/always measure the disk, not the code, and would
+// flap a relative gate across runner hardware.
 func compare(base map[key]figures.BenchRecord, baseOrder []key,
 	cur map[key]figures.BenchRecord, curOrder []key,
-	maxDrop, allocSlack float64) []row {
+	maxDrop, allocSlack, minGateOps float64) []row {
 
 	var rows []row
 	for _, k := range baseOrder {
@@ -78,8 +86,12 @@ func compare(base map[key]figures.BenchRecord, baseOrder []key,
 		}
 		r := row{k: k, base: &b, cur: &c, status: "ok"}
 		if b.OpsPerSec > 0 && c.OpsPerSec < b.OpsPerSec*(1-maxDrop) {
-			r.status = "REGRESSION: ops/s"
-			r.failing = true
+			if b.OpsPerSec >= minGateOps {
+				r.status = "REGRESSION: ops/s"
+				r.failing = true
+			} else {
+				r.status = "ok (ops/s not gated)"
+			}
 		}
 		if c.AllocsPerOp > b.AllocsPerOp+allocSlack {
 			if r.failing {
@@ -100,7 +112,8 @@ func compare(base map[key]figures.BenchRecord, baseOrder []key,
 	return rows
 }
 
-// markdown renders the delta table.
+// markdown renders the delta table plus warning lines naming every
+// point present on only one side of the comparison.
 func markdown(rows []row, maxDrop float64) string {
 	out := fmt.Sprintf("### benchdiff (gate: >%.0f%% ops/s drop or allocs/op increase)\n\n", maxDrop*100)
 	out += "| benchmark | threads | base ops/s | cur ops/s | Δ ops/s | base allocs | cur allocs | status |\n"
@@ -129,7 +142,43 @@ func markdown(rows []row, maxDrop float64) string {
 			num(r.cur, func(x figures.BenchRecord) string { return fmt.Sprintf("%.3f", x.AllocsPerOp) }),
 			status)
 	}
+	if missing := namesWithStatus(rows, "missing"); len(missing) > 0 {
+		out += fmt.Sprintf("\n⚠️ **missing from the current run** (in baseline only): %s\n",
+			strings.Join(missing, ", "))
+	}
+	if extra := namesWithStatus(rows, "new"); len(extra) > 0 {
+		out += fmt.Sprintf("\n⚠️ **not in the baseline** (new in this run): %s\n",
+			strings.Join(extra, ", "))
+	}
 	return out
+}
+
+// namesWithStatus lists "name@threads" for every row with the status.
+func namesWithStatus(rows []row, status string) []string {
+	var names []string
+	for _, r := range rows {
+		if r.status == status {
+			names = append(names, fmt.Sprintf("%s@%d", r.k.Name, r.k.Threads))
+		}
+	}
+	return names
+}
+
+// verdict applies the exit policy: regressions always fail; missing and
+// extra points fail only under -strict.
+func verdict(rows []row, strict bool) (failed, missing, extra int, exit bool) {
+	for _, r := range rows {
+		switch {
+		case r.failing:
+			failed++
+		case r.status == "missing":
+			missing++
+		case r.status == "new":
+			extra++
+		}
+	}
+	exit = failed > 0 || (strict && missing+extra > 0)
+	return
 }
 
 func main() {
@@ -139,6 +188,8 @@ func main() {
 		allocSlack = flag.Float64("alloc-slack", 0.02, "tolerated allocs/op increase (absolute)")
 		mdPath     = flag.String("md", "", "also write the markdown table to this file")
 		update     = flag.Bool("update", false, "merge current records into the baseline file instead of gating")
+		strict     = flag.Bool("strict", false, "also fail when baseline points are missing from the current run or vice versa")
+		minGateOps = flag.Float64("min-gate-ops", 0, "exempt points whose baseline ops/s is below this from the ops/s gate (fsync-latency-bound series; allocs still gated)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -207,7 +258,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	rows := compare(base, baseOrder, cur, curOrder, *maxDrop, *allocSlack)
+	rows := compare(base, baseOrder, cur, curOrder, *maxDrop, *allocSlack, *minGateOps)
 	md := markdown(rows, *maxDrop)
 	fmt.Print(md)
 	if *mdPath != "" {
@@ -217,22 +268,20 @@ func main() {
 		}
 	}
 
-	failed := 0
-	missing := 0
-	for _, r := range rows {
-		if r.failing {
-			failed++
-		}
-		if r.status == "missing" {
-			missing++
-		}
-	}
+	failed, missing, extra, exit := verdict(rows, *strict)
 	if missing > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d baseline point(s) missing from the current run\n", missing)
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s\n", failed, *baseline)
+	if extra > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d point(s) not present in the baseline\n", extra)
+	}
+	if exit {
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s\n", failed, *baseline)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchdiff: -strict: %d missing and %d extra point(s)\n", missing, extra)
+		}
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchdiff: gate green (%d points compared)\n", len(rows)-missing)
+	fmt.Fprintf(os.Stderr, "benchdiff: gate green (%d points compared)\n", len(rows)-missing-extra)
 }

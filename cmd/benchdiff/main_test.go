@@ -29,7 +29,7 @@ func TestCompareGate(t *testing.T) {
 		figures.BenchRecord{Name: "fig1/val-short", Threads: 1, OpsPerSec: 390, AllocsPerOp: 0},            // -22%: fail
 		figures.BenchRecord{Name: "brand-new", Threads: 4, OpsPerSec: 10},
 	)
-	rows := compare(base, baseOrder, cur, curOrder, 0.20, 0.02)
+	rows := compare(base, baseOrder, cur, curOrder, 0.20, 0.02, 0)
 	got := map[string]row{}
 	for _, r := range rows {
 		got[r.k.Name] = r
@@ -57,7 +57,7 @@ func TestCompareAllocGate(t *testing.T) {
 		figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 100, AllocsPerOp: 0.30}, // +0.30: fail
 		figures.BenchRecord{Name: "b", Threads: 1, OpsPerSec: 100, AllocsPerOp: 0.51}, // within slack
 	)
-	rows := compare(base, baseOrder, cur, curOrder, 0.20, 0.02)
+	rows := compare(base, baseOrder, cur, curOrder, 0.20, 0.02, 0)
 	if !rows[0].failing || !strings.Contains(rows[0].status, "allocs") {
 		t.Errorf("alloc increase should fail, got %+v", rows[0])
 	}
@@ -66,13 +66,116 @@ func TestCompareAllocGate(t *testing.T) {
 	}
 }
 
+func TestMarkdownWarnsMissingAndExtra(t *testing.T) {
+	base, baseOrder := mk(
+		figures.BenchRecord{Name: "kept", Threads: 1, OpsPerSec: 100},
+		figures.BenchRecord{Name: "dropped/bench", Threads: 2, OpsPerSec: 100},
+		figures.BenchRecord{Name: "dropped/bench", Threads: 4, OpsPerSec: 100},
+	)
+	cur, curOrder := mk(
+		figures.BenchRecord{Name: "kept", Threads: 1, OpsPerSec: 100},
+		figures.BenchRecord{Name: "added/bench", Threads: 1, OpsPerSec: 50},
+	)
+	rows := compare(base, baseOrder, cur, curOrder, 0.20, 0.02, 0)
+	md := markdown(rows, 0.20)
+	for _, want := range []string{
+		"missing from the current run",
+		"dropped/bench@2", "dropped/bench@4",
+		"not in the baseline",
+		"added/bench@1",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	if strings.Contains(md, "kept@1") {
+		t.Errorf("matched point must not be warned about:\n%s", md)
+	}
+}
+
+func TestMarkdownNoWarningsWhenAligned(t *testing.T) {
+	base, baseOrder := mk(figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 100})
+	cur, curOrder := mk(figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 101})
+	md := markdown(compare(base, baseOrder, cur, curOrder, 0.20, 0.02, 0), 0.20)
+	if strings.Contains(md, "⚠") {
+		t.Errorf("aligned runs must produce no warnings:\n%s", md)
+	}
+}
+
+func TestVerdictStrict(t *testing.T) {
+	base, baseOrder := mk(
+		figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 100},
+		figures.BenchRecord{Name: "gone", Threads: 1, OpsPerSec: 100},
+	)
+	cur, curOrder := mk(
+		figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 100},
+		figures.BenchRecord{Name: "fresh", Threads: 1, OpsPerSec: 100},
+	)
+	rows := compare(base, baseOrder, cur, curOrder, 0.20, 0.02, 0)
+
+	failed, missing, extra, exit := verdict(rows, false)
+	if failed != 0 || missing != 1 || extra != 1 || exit {
+		t.Errorf("lenient verdict = (%d,%d,%d,%v), want (0,1,1,false)", failed, missing, extra, exit)
+	}
+	if _, _, _, exit := verdict(rows, true); !exit {
+		t.Errorf("-strict must fail on missing/extra points")
+	}
+
+	// Aligned runs pass even under -strict.
+	okRows := compare(base, baseOrder, base, baseOrder, 0.20, 0.02, 0)
+	if _, _, _, exit := verdict(okRows, true); exit {
+		t.Errorf("-strict must pass when runs align")
+	}
+
+	// Regressions fail regardless of strictness.
+	reg, regOrder := mk(
+		figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 10},
+		figures.BenchRecord{Name: "gone", Threads: 1, OpsPerSec: 100},
+	)
+	regRows := compare(base, baseOrder, reg, regOrder, 0.20, 0.02, 0)
+	if failed, _, _, exit := verdict(regRows, false); failed != 1 || !exit {
+		t.Errorf("regression verdict = (%d,%v), want (1,true)", failed, exit)
+	}
+}
+
 func TestMarkdownShape(t *testing.T) {
 	base, baseOrder := mk(figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 200, AllocsPerOp: 0})
 	cur, curOrder := mk(figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 100, AllocsPerOp: 0})
-	md := markdown(compare(base, baseOrder, cur, curOrder, 0.20, 0.02), 0.20)
+	md := markdown(compare(base, baseOrder, cur, curOrder, 0.20, 0.02, 0), 0.20)
 	for _, want := range []string{"| a | 1 |", "-50.0%", "**REGRESSION: ops/s**", "| benchmark |"} {
 		if !strings.Contains(md, want) {
 			t.Errorf("markdown missing %q:\n%s", want, md)
 		}
+	}
+}
+
+func TestMinGateOpsExemptsFsyncBoundPoints(t *testing.T) {
+	base, baseOrder := mk(
+		figures.BenchRecord{Name: "durable/always", Threads: 1, OpsPerSec: 2500, AllocsPerOp: 0.02},
+		figures.BenchRecord{Name: "map/mixed/zipf", Threads: 1, OpsPerSec: 2_000_000, AllocsPerOp: 0},
+	)
+	cur, curOrder := mk(
+		figures.BenchRecord{Name: "durable/always", Threads: 1, OpsPerSec: 500, AllocsPerOp: 0.02}, // -80%: disk, not code
+		figures.BenchRecord{Name: "map/mixed/zipf", Threads: 1, OpsPerSec: 1_000_000, AllocsPerOp: 0},
+	)
+	rows := compare(base, baseOrder, cur, curOrder, 0.20, 0.02, 100_000)
+	got := map[string]row{}
+	for _, r := range rows {
+		got[r.k.Name] = r
+	}
+	if r := got["durable/always"]; r.failing {
+		t.Errorf("fsync-bound point below min-gate-ops must not fail on ops/s: %+v", r)
+	}
+	if r := got["map/mixed/zipf"]; !r.failing {
+		t.Errorf("CPU-bound point must still gate: %+v", r)
+	}
+	// Allocs are gated regardless of the ops/s exemption.
+	allocCur, allocOrder := mk(
+		figures.BenchRecord{Name: "durable/always", Threads: 1, OpsPerSec: 2500, AllocsPerOp: 0.50},
+		figures.BenchRecord{Name: "map/mixed/zipf", Threads: 1, OpsPerSec: 2_000_000, AllocsPerOp: 0},
+	)
+	rows = compare(base, baseOrder, allocCur, allocOrder, 0.20, 0.02, 100_000)
+	if !rows[0].failing {
+		t.Errorf("alloc regression on an exempt point must still fail: %+v", rows[0])
 	}
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	spectm-server -addr 127.0.0.1:6399 -maxconns 256
+//	spectm-server -data-dir /var/lib/spectm -fsync interval=100ms
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"spectm/internal/core"
 	"spectm/internal/server"
+	"spectm/internal/wal"
 )
 
 func main() {
@@ -28,6 +30,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "map shard count (0 = default: ≥ GOMAXPROCS)")
 		buckets  = flag.Int("buckets", 0, "initial buckets per shard (0 = default 64)")
 		layout   = flag.String("layout", "val", "engine meta-data layout: val, tvar or orec")
+		dataDir  = flag.String("data-dir", "", "persistence directory: per-shard write-ahead logs + snapshots (empty = in-memory only)")
+		fsync    = flag.String("fsync", "interval=1s", "WAL fsync policy: always, every=N or interval=DURATION")
 	)
 	flag.Parse()
 
@@ -44,30 +48,53 @@ func main() {
 		os.Exit(2)
 	}
 
-	s, err := server.New(
+	opts := []server.Option{
 		server.WithMaxConns(*maxConns),
 		server.WithShards(*shards),
 		server.WithInitialBuckets(*buckets),
 		server.WithLayout(l),
-	)
+	}
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spectm-server: %v\n", err)
+			os.Exit(2)
+		}
+		opts = append(opts, server.WithPersistence(*dataDir, policy))
+	}
+
+	s, err := server.New(opts...)
 	if err != nil {
 		log.Fatalf("spectm-server: %v", err)
 	}
 	if err := s.Listen(*addr); err != nil {
 		log.Fatalf("spectm-server: %v", err)
 	}
-	log.Printf("spectm-server: listening on %s (layout=%s maxconns=%d)", s.Addr(), *layout, *maxConns)
+	if *dataDir != "" {
+		log.Printf("spectm-server: listening on %s (layout=%s maxconns=%d data-dir=%s fsync=%s, %d keys recovered)",
+			s.Addr(), *layout, *maxConns, *dataDir, *fsync, s.Map().Len())
+	} else {
+		log.Printf("spectm-server: listening on %s (layout=%s maxconns=%d)", s.Addr(), *layout, *maxConns)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
 	go func() {
 		<-sig
 		log.Printf("spectm-server: shutting down, draining connections")
-		s.Shutdown()
+		if err := s.Shutdown(); err != nil {
+			log.Printf("spectm-server: shutdown: %v", err)
+		}
+		close(drained)
 	}()
 
 	if err := s.Serve(); err != server.ErrServerClosed {
 		log.Fatalf("spectm-server: %v", err)
 	}
+	// Serve returns as soon as the listener closes; the drain — and the
+	// WAL flush behind it — is still in flight. Exiting now would lose
+	// acknowledged writes inside the fsync window.
+	<-drained
 	log.Printf("spectm-server: bye")
 }

@@ -1,0 +1,83 @@
+// The "durable" series: the durability tax. The same write-heavy map
+// workload runs with persistence off and then under each write-ahead-log
+// fsync policy, making the cost of each durability level visible as a
+// throughput ratio in the BenchRecord stream — none bounds the logging
+// overhead itself (record encode + buffered writes), interval and
+// every=N are the production operating points, always is the full
+// group-commit-per-operation price.
+package figures
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spectm/internal/harness"
+)
+
+// durablePolicies are the swept fsync configurations. Empty = no
+// persistence (the in-memory baseline).
+var durablePolicies = []struct {
+	name  string
+	fsync string
+}{
+	{"none", ""},
+	{"interval100ms", "interval=100ms"},
+	{"every64", "every=64"},
+	{"always", "always"},
+}
+
+// FigDurable measures ops/s and allocs/op of a write-heavy mixed
+// workload (20% get / 60% put / 15% delete / 5% batch, zipf keys)
+// across the fsync policies. Steady-state operations stay 0 allocs/op
+// under every non-blocking policy — the log encode path reuses the
+// per-shard record buffers.
+func FigDurable(o Options) error {
+	o = o.withDefaults()
+	keys := int(o.KeyRange)
+
+	fmt.Fprintf(o.Out, "\n== durable: write-heavy map + WAL, %d string keys ==\n", keys)
+	fmt.Fprintf(o.Out, "%-8s %-15s %14s %12s %12s\n",
+		"threads", "fsync", "ops/s", "allocs/op", "vs-none")
+
+	var csv *os.File
+	if o.CSVDir != "" {
+		f, err := os.Create(filepath.Join(o.CSVDir, "durable.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csv = f
+		fmt.Fprintln(csv, "threads,fsync,ops_per_sec,allocs_per_op,normalized")
+	}
+
+	for _, th := range o.Threads {
+		var base float64
+		for _, p := range durablePolicies {
+			res, err := harness.RunMap(harness.MapWorkload{
+				Keys:   keys,
+				GetPct: 20, PutPct: 60, DeletePct: 15, BatchPct: 5,
+				Dist: "zipf", Fsync: p.fsync,
+				Threads: th, Duration: o.Duration, Seed: o.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			if p.name == "none" {
+				base = res.OpsPerSec
+			}
+			norm := 0.0
+			if base > 0 {
+				norm = res.OpsPerSec / base
+			}
+			fmt.Fprintf(o.Out, "%-8d %-15s %14.0f %12.3f %11.2fx\n",
+				th, p.name, res.OpsPerSec, res.AllocsPerOp, norm)
+			o.record("durable/"+p.name, th, res.OpsPerSec, res.AllocsPerOp)
+			if csv != nil {
+				fmt.Fprintf(csv, "%d,%s,%.0f,%.4f,%.3f\n",
+					th, p.name, res.OpsPerSec, res.AllocsPerOp, norm)
+			}
+		}
+	}
+	return nil
+}

@@ -277,9 +277,10 @@ func Fig10(o Options) error {
 	})
 }
 
-// All runs every figure, plus the forward-looking map and net series.
+// All runs every figure, plus the forward-looking map, net and durable
+// series.
 func All(o Options) error {
-	for _, f := range []func(Options) error{Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, FigMap, FigNet} {
+	for _, f := range []func(Options) error{Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, FigMap, FigNet, FigDurable} {
 		if err := f(o); err != nil {
 			return err
 		}

@@ -7,12 +7,14 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync/atomic"
 	"time"
 
 	"spectm/internal/core"
 	"spectm/internal/rng"
 	"spectm/internal/shardmap"
+	"spectm/internal/wal"
 	"spectm/internal/word"
 )
 
@@ -28,6 +30,12 @@ type MapWorkload struct {
 	BatchPct  int    // 2-key atomic GetBatch share
 	Dist      string // "uniform" (default) or "zipf"
 	Layout    string // "val" (default), "tvar" or "orec"
+
+	// Fsync, when non-empty, runs the map with persistence enabled in a
+	// temporary directory under the given policy ("always", "every=N",
+	// "interval=D") — the durability-tax experiment. The directory is
+	// removed after the run.
+	Fsync string
 
 	Threads  int
 	Duration time.Duration
@@ -69,9 +77,10 @@ type MapResult struct {
 	Stats       core.Stats
 }
 
-// mapEngine builds the engine for a layout name.
+// mapEngine builds the engine for a layout name. +3 leaves room for
+// the init thread and the persistence thread.
 func mapEngine(layout string, threads int) (*core.Engine, error) {
-	cfg := core.Config{MaxThreads: threads + 2}
+	cfg := core.Config{MaxThreads: threads + 3}
 	switch layout {
 	case "val":
 		cfg.Layout = core.LayoutVal
@@ -129,7 +138,24 @@ func RunMap(w MapWorkload) (MapResult, error) {
 	if w.InitialBuckets > 0 {
 		mopts = append(mopts, shardmap.WithInitialBuckets(w.InitialBuckets))
 	}
-	m := shardmap.New(e, mopts...)
+	var m *shardmap.Map
+	if w.Fsync != "" {
+		policy, err := wal.ParsePolicy(w.Fsync)
+		if err != nil {
+			return MapResult{}, err
+		}
+		dir, err := os.MkdirTemp("", "spectm-durable-*")
+		if err != nil {
+			return MapResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		if m, err = shardmap.Open(e, dir, append(mopts, shardmap.WithPersistence(dir, policy))...); err != nil {
+			return MapResult{}, err
+		}
+		defer m.Close()
+	} else {
+		m = shardmap.New(e, mopts...)
+	}
 
 	keys := make([]string, w.Keys)
 	for i := range keys {

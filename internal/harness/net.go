@@ -280,6 +280,10 @@ func RunNet(w NetWorkload) (NetResult, error) {
 					}
 				}
 				if c.wr.Flush() != nil {
+					// A write-side failure is as much a run error as a
+					// failed read: count it so the report and the exit
+					// status reflect the broken connection.
+					errs.Add(1)
 					return ops, core.Stats{}
 				}
 				// ... then collect its replies.

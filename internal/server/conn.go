@@ -182,6 +182,17 @@ func (c *conn) execute(args [][]byte) {
 			return
 		}
 		c.mget(args)
+	case cmdEq(cmd, "BGSAVE"):
+		// Rotate + snapshot + prune, synchronously on this connection
+		// (pipelined peers on other connections keep executing; their
+		// appends go to the post-rotation log the snapshot composes
+		// with). Errors — including persistence being disabled — come
+		// back as error replies.
+		if err := c.s.m.Save(); err != nil {
+			c.wr.Error("ERR bgsave: " + err.Error())
+		} else {
+			c.wr.SimpleString("OK")
+		}
 	case cmdEq(cmd, "STATS"):
 		c.statsReply()
 	case cmdEq(cmd, "PING"):
@@ -260,6 +271,7 @@ func (c *conn) statsReply() {
 	appendStat("swap2_hits", st.SwapHits)
 	appendStat("mgets", st.Batches)
 	appendStat("mget_keys", st.BatchKeys)
+	appendStat("wal_bytes", uint64(s.m.LogSize()))
 	c.stats = b
 	c.wr.Bulk(b)
 }

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"spectm/internal/proto"
+	"spectm/internal/wal"
+)
+
+// TestServerPersistenceRoundTrip drives the wire surface end to end:
+// SET/DEL/CAS through a persistent server, BGSAVE mid-stream, clean
+// shutdown, then a second server over the same directory must serve the
+// same data.
+func TestServerPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	s, err := New(WithMaxConns(4), WithPersistence(dir, wal.EveryN(1)))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	c := dial(t, s)
+
+	want := map[string]uint64{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		if r := c.do(t, "SET", k, fmt.Sprint(i)); string(r.Str) != "OK" {
+			t.Fatalf("SET → %+v", r)
+		}
+		want[k] = uint64(i)
+	}
+	if r := c.do(t, "BGSAVE"); string(r.Str) != "OK" {
+		t.Fatalf("BGSAVE → %+v", r)
+	}
+	for i := 0; i < 200; i += 2 {
+		k := fmt.Sprintf("key-%04d", i)
+		if r := c.do(t, "DEL", k); r.Int != 1 {
+			t.Fatalf("DEL → %+v", r)
+		}
+		delete(want, k)
+	}
+	if r := c.do(t, "CAS", "key-0001", "1", "77"); r.Int != 1 {
+		t.Fatalf("CAS → %+v", r)
+	}
+	want["key-0001"] = 77
+	if r := c.do(t, "SWAP2", "key-0003", "key-0005"); r.Int != 1 {
+		t.Fatalf("SWAP2 → %+v", r)
+	}
+	want["key-0003"], want["key-0005"] = want["key-0005"], want["key-0003"]
+
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-done; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+
+	// Second server over the same directory: recovery through the full
+	// server construction path.
+	s2 := startServer(t, WithMaxConns(4), WithPersistence(dir, wal.EveryN(1)))
+	if got := s2.Map().Len(); got != len(want) {
+		t.Fatalf("recovered %d keys, want %d", got, len(want))
+	}
+	c2 := dial(t, s2)
+	for k, v := range want {
+		r := c2.do(t, "GET", k)
+		if r.Kind != proto.KindInt || uint64(r.Int) != v {
+			t.Fatalf("after recovery GET %s → %+v, want %d", k, r, v)
+		}
+	}
+	if r := c2.do(t, "GET", "key-0000"); !r.Null {
+		t.Fatalf("deleted key resurrected: %+v", r)
+	}
+	// STATS must expose the live log size.
+	r := c2.do(t, "STATS")
+	if r.Kind != proto.KindBulk || !containsLine(string(r.Str), "wal_bytes") {
+		t.Fatalf("STATS missing wal_bytes:\n%s", r.Str)
+	}
+}
+
+func containsLine(s, prefix string) bool {
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		line := s[:i]
+		if len(line) >= len(prefix) && line[:len(prefix)] == prefix {
+			return true
+		}
+		if i == len(s) {
+			break
+		}
+		s = s[i+1:]
+	}
+	return false
+}
+
+// TestServerBGSAVEWithoutPersistence: the command must answer an error
+// reply, not crash or hang.
+func TestServerBGSAVEWithoutPersistence(t *testing.T) {
+	s := startServer(t, WithMaxConns(2))
+	c := dial(t, s)
+	r := c.do(t, "BGSAVE")
+	if r.Kind != proto.KindError {
+		t.Fatalf("BGSAVE on an in-memory server → %+v, want error reply", r)
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"spectm/internal/core"
 	"spectm/internal/shardmap"
+	"spectm/internal/wal"
 )
 
 // Option configures a Server.
@@ -38,6 +39,8 @@ type config struct {
 	shards   int
 	buckets  int
 	layout   core.Layout
+	dataDir  string
+	fsync    wal.Policy
 }
 
 // WithMaxConns bounds concurrently served connections (default 64).
@@ -53,6 +56,14 @@ func WithInitialBuckets(n int) Option { return func(c *config) { c.buckets = n }
 // WithLayout selects the engine meta-data layout (default LayoutVal,
 // the paper's fastest for short transactions).
 func WithLayout(l core.Layout) Option { return func(c *config) { c.layout = l } }
+
+// WithPersistence makes the served map durable: mutations append to
+// per-shard write-ahead logs under dir (fsynced per policy), startup
+// recovers the logged state, BGSAVE snapshots and compacts, and
+// Shutdown flushes and closes the log after the connection drain.
+func WithPersistence(dir string, policy wal.Policy) Option {
+	return func(c *config) { c.dataDir, c.fsync = dir, policy }
+}
 
 // Server is a spectm-server instance: one engine, one sharded map, one
 // listener.
@@ -86,7 +97,8 @@ func New(opts ...Option) (*Server, error) {
 	if cfg.maxConns < 1 {
 		return nil, fmt.Errorf("server: max conns %d < 1", cfg.maxConns)
 	}
-	e, err := core.NewChecked(core.Config{Layout: cfg.layout, MaxThreads: cfg.maxConns + 2})
+	// +3: accept slop plus the persistence thread (recovery + snapshots).
+	e, err := core.NewChecked(core.Config{Layout: cfg.layout, MaxThreads: cfg.maxConns + 3})
 	if err != nil {
 		return nil, err
 	}
@@ -97,10 +109,19 @@ func New(opts ...Option) (*Server, error) {
 	if cfg.buckets > 0 {
 		mopts = append(mopts, shardmap.WithInitialBuckets(cfg.buckets))
 	}
+	var m *shardmap.Map
+	if cfg.dataDir != "" {
+		mopts = append(mopts, shardmap.WithPersistence(cfg.dataDir, cfg.fsync))
+		if m, err = shardmap.Open(e, cfg.dataDir, mopts...); err != nil {
+			return nil, err
+		}
+	} else {
+		m = shardmap.New(e, mopts...)
+	}
 	return &Server{
 		cfg:   cfg,
 		e:     e,
-		m:     shardmap.New(e, mopts...),
+		m:     m,
 		conns: make(map[*conn]struct{}),
 	}, nil
 }
@@ -183,12 +204,14 @@ func (s *Server) ListenAndServe(addr string) error {
 // Shutdown closes the listener and drains every connection: each one
 // finishes executing the commands it has already read (an in-flight
 // pipeline keeps draining until the connection would block on the
-// socket), flushes its replies, and closes. Shutdown returns when all
-// connection goroutines have exited.
+// socket), flushes its replies, and closes. Once the drain completes
+// the map's write-ahead log (if any) is flushed and closed, so every
+// executed command is durable when Shutdown returns. Shutdown returns
+// when all connection goroutines have exited.
 func (s *Server) Shutdown() error {
 	if s.closing.Swap(true) {
 		s.wg.Wait()
-		return nil
+		return s.m.Close()
 	}
 	if s.ln != nil {
 		s.ln.Close()
@@ -201,7 +224,7 @@ func (s *Server) Shutdown() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	return nil
+	return s.m.Close()
 }
 
 // track registers a live connection; it reports false (and does not

@@ -49,6 +49,7 @@ import (
 	"spectm/internal/arena"
 	"spectm/internal/core"
 	"spectm/internal/pad"
+	"spectm/internal/wal"
 	"spectm/internal/word"
 )
 
@@ -118,6 +119,11 @@ type Option func(*config)
 type config struct {
 	shards  int
 	buckets int
+
+	// persistence (see persist.go)
+	dir          string
+	policy       wal.Policy
+	compactAfter int64
 }
 
 // WithShards sets the number of shards (rounded up to a power of two).
@@ -129,8 +135,9 @@ func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 func WithInitialBuckets(n int) Option { return func(c *config) { c.buckets = n } }
 
 // Map is a sharded transactional hash map from string keys to Values.
-// Construct with New; each worker goroutine attaches a Thread with
-// NewThread and performs all operations through it.
+// Construct with New (or Open, for a persistent map); each worker
+// goroutine attaches a Thread with NewThread and performs all
+// operations through it.
 type Map struct {
 	e         *core.Engine
 	seed      maphash.Seed
@@ -141,6 +148,14 @@ type Map struct {
 
 	thrMu       sync.Mutex    // guards thrCounters
 	thrCounters []*opCounters // one slot set per attached Thread
+
+	// Durability (nil without WithPersistence; see persist.go). wal is
+	// written once before the map is published, so hot paths read it
+	// without synchronization.
+	wal        *wal.Log
+	saveMu     sync.Mutex // serializes Save/Snapshot and guards persistThr
+	persistThr *Thread
+	saveErr    atomic.Value // savedErr: outcome of the last auto-compaction
 }
 
 // ceilPow2 rounds n up to a power of two (min 1).
@@ -154,8 +169,17 @@ func ceilPow2(n int) int {
 
 // New creates a map over engine e. All Threads of one Map share e's
 // meta-data, so map operations compose with any other transaction on the
-// same engine.
+// same engine. New panics when a persistence option fails to open its
+// directory (a configuration error); use Open to handle it as an error.
 func New(e *core.Engine, opts ...Option) *Map {
+	m, err := newMap(e, opts...)
+	if err != nil {
+		panic("shardmap: " + err.Error())
+	}
+	return m
+}
+
+func newMap(e *core.Engine, opts ...Option) (*Map, error) {
 	cfg := config{buckets: 64}
 	for _, o := range opts {
 		o(&cfg)
@@ -186,7 +210,12 @@ func New(e *core.Engine, opts ...Option) *Map {
 		st := &tables{cur: m.newTable(nb)}
 		sh.state.Store(st)
 	}
-	return m
+	if cfg.dir != "" {
+		if err := m.openPersistence(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // newTable allocates a bucket array with a fresh identity range.
@@ -237,6 +266,10 @@ type Thread struct {
 	mnext  []word.Value
 	mvals  []word.Value
 	mcopy  []arena.Handle
+
+	// Range scratch: one bucket's chain, buffered per attempt
+	rkeys []string
+	rvals []word.Value
 }
 
 // NewThread registers a worker with the map's engine.
@@ -367,6 +400,7 @@ func (x *Thread) Put(key string, val Value) bool {
 	} else if !spare.IsNil() {
 		sh.a.Free(spare) // lost the insert race; never published
 	}
+	x.logPut(h, key, val)
 	count(&x.ops.puts, &x.ops.inserts, inserted)
 	return inserted
 }
@@ -379,13 +413,16 @@ func (x *Thread) Put(key string, val Value) bool {
 // of reused I/O buffers can pass a zero-copy view and only fall back to
 // cloning the key for a real insert.
 func (x *Thread) Update(key string, val Value) bool {
-	ok := x.update(key, val)
+	h := x.m.hash(key)
+	ok := x.update(h, key, val)
+	if ok {
+		x.logPut(h, key, val)
+	}
 	count(&x.ops.updates, &x.ops.updateHits, ok)
 	return ok
 }
 
-func (x *Thread) update(key string, val Value) bool {
-	h := x.m.hash(key)
+func (x *Thread) update(h uint64, key string, val Value) bool {
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
 	defer x.t.Epoch.Exit()
@@ -462,13 +499,16 @@ func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *aren
 // transaction: the node's own link is marked (so concurrent walkers
 // restart) in the same commit that splices it out of the chain.
 func (x *Thread) Delete(key string) bool {
-	ok := x.del(key)
+	h := x.m.hash(key)
+	ok := x.del(h, key)
+	if ok {
+		x.logDelete(h, key)
+	}
 	count(&x.ops.deletes, &x.ops.deleteHits, ok)
 	return ok
 }
 
-func (x *Thread) del(key string) bool {
-	h := x.m.hash(key)
+func (x *Thread) del(h uint64, key string) bool {
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
 	defer x.t.Epoch.Exit()
@@ -506,13 +546,16 @@ func (x *Thread) del(key string) bool {
 // combined commit that validates the link under the write lock. It
 // returns false when the key is absent or holds a different value.
 func (x *Thread) CompareAndSwap(key string, old, new Value) bool {
-	ok := x.cas(key, old, new)
+	h := x.m.hash(key)
+	ok := x.cas(h, key, old, new)
+	if ok {
+		x.logCAS(h, key, new)
+	}
 	count(&x.ops.cas, &x.ops.casHits, ok)
 	return ok
 }
 
-func (x *Thread) cas(key string, old, new Value) bool {
-	h := x.m.hash(key)
+func (x *Thread) cas(h uint64, key string, old, new Value) bool {
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
 	defer x.t.Epoch.Exit()
@@ -563,9 +606,20 @@ func (x *Thread) swap2(k1, k2 string) bool {
 		return ok
 	}
 	h1, h2 := x.m.hash(k1), x.m.hash(k2)
-	s1, s2 := x.m.shardOf(h1), x.m.shardOf(h2)
 	x.t.Epoch.Enter()
-	defer x.t.Epoch.Exit()
+	nv1, nv2, ok := x.swap2Loop(h1, h2, k1, k2)
+	x.t.Epoch.Exit()
+	if ok {
+		x.logSwap2(h1, k1, nv1, h2, k2, nv2)
+	}
+	return ok
+}
+
+// swap2Loop performs the swap and, on success, reports the values the
+// keys now hold (k1 holds the first, k2 the second) for the durability
+// log.
+func (x *Thread) swap2Loop(h1, h2 uint64, k1, k2 string) (Value, Value, bool) {
+	s1, s2 := x.m.shardOf(h1), x.m.shardOf(h2)
 	for attempt := 1; ; attempt++ {
 		_, _, c1, found1, ok1 := x.search(s1, x.route(s1, h1), h1, k1)
 		if !ok1 {
@@ -576,7 +630,7 @@ func (x *Thread) swap2(k1, k2 string) bool {
 			continue
 		}
 		if !found1 || !found2 {
-			return false
+			return 0, 0, false
 		}
 		n1, n2 := s1.a.Get(c1), s2.a.Get(c2)
 		d1, nv1 := x.t.ShortRO1(x.m.nextVar(s1, c1, n1))
@@ -588,7 +642,7 @@ func (x *Thread) swap2(k1, k2 string) bool {
 		w1, v1 := d2.LockRead(x.m.valVar(s1, c1, n1))
 		w2, v2 := w1.LockRead(x.m.valVar(s2, c2, n2))
 		if w2.Commit(v2, v1) {
-			return true
+			return v2, v1, true
 		}
 		x.t.Backoff(attempt)
 	}

@@ -60,6 +60,18 @@ type opCounters struct {
 	batches, batchKeys  atomic.Uint64
 }
 
+// reset zeroes every slot (recovery replay drives the map through the
+// public operations but is not serving traffic).
+func (c *opCounters) reset() {
+	for _, a := range []*atomic.Uint64{
+		&c.gets, &c.getHits, &c.puts, &c.inserts, &c.updates, &c.updateHits,
+		&c.deletes, &c.deleteHits, &c.cas, &c.casHits, &c.swaps, &c.swapHits,
+		&c.batches, &c.batchKeys,
+	} {
+		a.Store(0)
+	}
+}
+
 func (c *opCounters) snapshot() OpStats {
 	return OpStats{
 		Gets: c.gets.Load(), GetHits: c.getHits.Load(),

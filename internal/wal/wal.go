@@ -1,0 +1,665 @@
+// The live log. A Log owns one append-only file per map shard plus a
+// single background syncer goroutine — the only goroutine that ever
+// touches the files. Mutating map operations append framed records to
+// per-shard in-memory buffers under a per-shard mutex (no allocation in
+// the steady state: the two buffers per shard are recycled forever) and
+// kick the syncer; the syncer swaps the buffers out, writes them, and
+// fsyncs according to the Policy. Under Always the appending operation
+// blocks until the group commit that covers its record has fsynced.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spectm/internal/pad"
+)
+
+// Policy selects when appended records are fsynced.
+type Policy struct {
+	kind byte
+	n    int
+	d    time.Duration
+}
+
+const (
+	kindUnset = iota
+	kindAlways
+	kindEveryN
+	kindInterval
+)
+
+// Always makes every mutation block until its record is durable: the
+// syncer batches whatever has accumulated, fsyncs once, and releases
+// every waiter covered by the batch (group commit).
+func Always() Policy { return Policy{kind: kindAlways} }
+
+// EveryN fsyncs once at least every n appended records. Mutations never
+// block; up to n acknowledged records can be lost in a crash. A quiet
+// tail shorter than n is synced by the 1s backstop tick, Flush or Close.
+func EveryN(n int) Policy {
+	if n < 1 {
+		n = 1
+	}
+	return Policy{kind: kindEveryN, n: n}
+}
+
+// Interval fsyncs at most every d. Mutations never block; up to d worth
+// of acknowledged records can be lost in a crash.
+func Interval(d time.Duration) Policy {
+	if d <= 0 {
+		d = time.Second
+	}
+	return Policy{kind: kindInterval, d: d}
+}
+
+// DefaultPolicy is used when options leave the policy unset.
+func DefaultPolicy() Policy { return Interval(time.Second) }
+
+// String renders the policy in the -fsync flag syntax.
+func (p Policy) String() string {
+	switch p.kind {
+	case kindAlways:
+		return "always"
+	case kindEveryN:
+		return fmt.Sprintf("every=%d", p.n)
+	case kindInterval:
+		return fmt.Sprintf("interval=%s", p.d)
+	default:
+		return "default"
+	}
+}
+
+// ParsePolicy parses the -fsync flag syntax: "always", "every=N" or
+// "interval=DURATION" (e.g. interval=100ms).
+func ParsePolicy(s string) (Policy, error) {
+	switch {
+	case s == "always":
+		return Always(), nil
+	case len(s) > 6 && s[:6] == "every=":
+		var n int
+		if _, err := fmt.Sscanf(s[6:], "%d", &n); err != nil || n < 1 {
+			return Policy{}, fmt.Errorf("wal: bad fsync policy %q: every=N needs N >= 1", s)
+		}
+		return EveryN(n), nil
+	case len(s) > 9 && s[:9] == "interval=":
+		d, err := time.ParseDuration(s[9:])
+		if err != nil || d <= 0 {
+			return Policy{}, fmt.Errorf("wal: bad fsync policy %q: interval=D needs a positive duration", s)
+		}
+		return Interval(d), nil
+	default:
+		return Policy{}, fmt.Errorf("wal: unknown fsync policy %q (want always, every=N or interval=D)", s)
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	// Policy is the fsync policy (default: Interval(1s)).
+	Policy Policy
+	// CompactAfter triggers the OnFull callback once the live log files
+	// exceed this many bytes (default 128 MiB; <0 disables).
+	CompactAfter int64
+	// OnFull is called (from its own goroutine, never concurrently with
+	// itself) when the logs exceed CompactAfter. The map hooks its
+	// snapshot-and-prune here.
+	OnFull func()
+	// StartGen is the generation the fresh log files are created under.
+	// Recovery passes maxGen+1 so every generation's shard layout is
+	// immutable. Zero means 1.
+	StartGen uint64
+}
+
+// walShard is one shard's append state. Only buf, recs and the file
+// rotation are guarded by mu; spare and the file are owned by the
+// syncer. The pad keeps neighboring shards' mutexes apart.
+type walShard struct {
+	mu    sync.Mutex
+	buf   []byte
+	recs  int
+	spare []byte
+	f     *os.File // current generation file; swapped only by the syncer
+	_     [pad.CacheLine]byte
+}
+
+// Log is a live per-shard write-ahead log. All methods are safe for
+// concurrent use; the typed append methods are allocation-free in the
+// steady state.
+type Log struct {
+	dir    string
+	opts   Options
+	shards []walShard
+
+	gen  atomic.Uint64 // current generation
+	seq  atomic.Uint64 // global append sequence (Always group commit)
+	size atomic.Int64  // bytes across live log files (rotation trigger)
+
+	// Always-policy group commit: waiters block until durableSeq covers
+	// their append.
+	syncMu     sync.Mutex
+	syncCond   *sync.Cond
+	durableSeq uint64
+	ioErr      error
+
+	unsynced   atomic.Int64 // records written but not yet fsynced
+	compacting atomic.Bool
+
+	kick     chan struct{}
+	flushReq chan chan error
+	rotReq   chan chan rotResult
+	quit     chan struct{}
+	done     chan struct{}
+	closed   atomic.Bool
+}
+
+type rotResult struct {
+	gen uint64
+	err error
+}
+
+// logName is the file name of generation gen, shard s.
+func logName(gen uint64, shard int) string {
+	return fmt.Sprintf("wal-%08d-s%04d.log", gen, shard)
+}
+
+// snapName is the file name of generation gen's snapshot.
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%08d.db", gen) }
+
+var walMagic = [8]byte{'S', 'P', 'T', 'M', 'W', 'A', 'L', '1'}
+
+const logHeaderSize = 20 // magic + gen(8) + shard(4)
+
+// appendLogHeader frames a log file header.
+func appendLogHeader(dst []byte, gen uint64, shard int) []byte {
+	dst = append(dst, walMagic[:]...)
+	dst = binary.LittleEndian.AppendUint64(dst, gen)
+	return binary.LittleEndian.AppendUint32(dst, uint32(shard))
+}
+
+// createLogFile creates one shard's log file for gen and writes its
+// header.
+func createLogFile(dir string, gen uint64, shard int) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, logName(gen, shard)),
+		os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(appendLogHeader(nil, gen, shard)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncDir fsyncs the directory itself, making renames and creates
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Open creates a Log over dir with one file per shard at opts.StartGen
+// and starts the syncer. The caller replays existing state first (see
+// Replay) and passes a StartGen above every existing generation.
+func Open(dir string, shards int, opts Options) (*Log, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("wal: shard count %d < 1", shards)
+	}
+	if opts.Policy.kind == kindUnset {
+		opts.Policy = DefaultPolicy()
+	}
+	if opts.CompactAfter == 0 {
+		opts.CompactAfter = 128 << 20
+	}
+	if opts.StartGen == 0 {
+		opts.StartGen = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		dir:      dir,
+		opts:     opts,
+		shards:   make([]walShard, shards),
+		kick:     make(chan struct{}, 1),
+		flushReq: make(chan chan error),
+		rotReq:   make(chan chan rotResult),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	l.gen.Store(opts.StartGen)
+	for i := range l.shards {
+		f, err := createLogFile(dir, opts.StartGen, i)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				l.shards[j].f.Close()
+			}
+			return nil, err
+		}
+		l.shards[i].f = f
+		l.size.Add(logHeaderSize)
+	}
+	if err := syncDir(dir); err != nil {
+		for i := range l.shards {
+			l.shards[i].f.Close()
+		}
+		return nil, err
+	}
+	go l.run()
+	return l, nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Gen returns the current generation.
+func (l *Log) Gen() uint64 { return l.gen.Load() }
+
+// Size returns the byte size of the live log files (excluding
+// snapshots), the rotation trigger.
+func (l *Log) Size() int64 { return l.size.Load() }
+
+// Err returns the latched I/O error, if any. After an I/O error the log
+// stops syncing: the map keeps serving from memory, durability is lost.
+func (l *Log) Err() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.ioErr
+}
+
+// Put appends a "key ← val" record to shard's log.
+func (l *Log) Put(shard int, key string, val uint64) {
+	l.append(shard, OpPut, key, val, "", 0)
+}
+
+// Delete appends a removal record.
+func (l *Log) Delete(shard int, key string) {
+	l.append(shard, OpDelete, key, 0, "", 0)
+}
+
+// CAS appends a successful compare-and-swap record (key ← new value).
+func (l *Log) CAS(shard int, key string, val uint64) {
+	l.append(shard, OpCAS, key, val, "", 0)
+}
+
+// Swap2 appends one atomic same-shard swap record: k1 ← v1, k2 ← v2.
+func (l *Log) Swap2(shard int, k1 string, v1 uint64, k2 string, v2 uint64) {
+	l.append(shard, OpSwap2, k1, v1, k2, v2)
+}
+
+// SwapHalf appends one shard's half of a cross-shard swap (key ← val).
+// The two halves live in different shard logs and are durable
+// independently: a crash between their fsyncs can persist one half only
+// (see the recovery invariants in DESIGN.md).
+func (l *Log) SwapHalf(shard int, key string, val uint64) {
+	l.append(shard, OpSwapHalf, key, val, "", 0)
+}
+
+func (l *Log) append(shard int, op byte, k1 string, v1 uint64, k2 string, v2 uint64) {
+	if l.closed.Load() {
+		return
+	}
+	s := &l.shards[shard]
+	s.mu.Lock()
+	s.buf = appendRecord(s.buf, op, k1, v1, k2, v2)
+	s.recs++
+	seq := l.seq.Add(1)
+	s.mu.Unlock()
+
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	if l.opts.Policy.kind == kindAlways {
+		l.waitDurable(seq)
+	}
+}
+
+// waitDurable blocks until the group commit covering seq has fsynced
+// (or the log fails or closes).
+func (l *Log) waitDurable(seq uint64) {
+	l.syncMu.Lock()
+	for l.durableSeq < seq && l.ioErr == nil && !l.closed.Load() {
+		l.syncCond.Wait()
+	}
+	l.syncMu.Unlock()
+}
+
+// Flush forces everything appended so far onto disk (write + fsync),
+// regardless of policy. It returns the latched I/O error, if any.
+func (l *Log) Flush() error {
+	ch := make(chan error, 1)
+	select {
+	case l.flushReq <- ch:
+		select {
+		case err := <-ch:
+			return err
+		case <-l.done:
+			return l.Err()
+		}
+	case <-l.done:
+		return l.Err()
+	}
+}
+
+// Rotate flushes the current generation, fsyncs and closes its files,
+// and switches every shard to a fresh generation. It returns the new
+// generation — the one a snapshot taken after the rotation must be
+// tagged with.
+func (l *Log) Rotate() (uint64, error) {
+	ch := make(chan rotResult, 1)
+	select {
+	case l.rotReq <- ch:
+		select {
+		case r := <-ch:
+			return r.gen, r.err
+		case <-l.done:
+			return 0, fmt.Errorf("wal: closed during rotate")
+		}
+	case <-l.done:
+		return 0, fmt.Errorf("wal: rotate after close")
+	}
+}
+
+// Close flushes and fsyncs everything, closes the files and stops the
+// syncer. Appends after Close are dropped.
+func (l *Log) Close() error {
+	if l.closed.Swap(true) {
+		<-l.done
+		return l.Err()
+	}
+	close(l.quit)
+	<-l.done
+	l.syncCond.Broadcast() // release any straggling Always waiters
+	return l.Err()
+}
+
+// ---- syncer ----
+
+// run is the single file-writing goroutine.
+func (l *Log) run() {
+	defer close(l.done)
+	// The backstop tick bounds how long a quiet tail stays unsynced
+	// under EveryN, and paces Interval.
+	tick := time.Second
+	if l.opts.Policy.kind == kindInterval && l.opts.Policy.d < tick {
+		tick = l.opts.Policy.d
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	lastSync := time.Now()
+
+	for {
+		select {
+		case <-l.quit:
+			l.gatherWrite(true, &lastSync)
+			l.finalClose()
+			return
+		case <-l.kick:
+			l.gatherWrite(false, &lastSync)
+		case <-ticker.C:
+			l.gatherWrite(false, &lastSync)
+		case ch := <-l.flushReq:
+			l.gatherWrite(true, &lastSync)
+			ch <- l.Err()
+		case ch := <-l.rotReq:
+			gen, err := l.rotate(&lastSync)
+			ch <- rotResult{gen, err}
+		}
+	}
+}
+
+// gatherWrite swaps out every shard's pending buffer, writes the data,
+// and fsyncs when the policy (or force) says so.
+func (l *Log) gatherWrite(force bool, lastSync *time.Time) {
+	if l.Err() != nil {
+		// Durability already lost; drop buffered data so memory stays
+		// bounded.
+		for i := range l.shards {
+			s := &l.shards[i]
+			s.mu.Lock()
+			s.buf, s.recs = s.buf[:0], 0
+			s.mu.Unlock()
+		}
+		return
+	}
+	batchSeq := l.seq.Load() // see the durability watermark proof below
+	if testHookBatchSeq != nil {
+		testHookBatchSeq()
+	}
+	wrote := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		b, n := s.buf, s.recs
+		if len(b) > 0 {
+			s.buf = s.spare[:0]
+			s.spare = nil
+			s.recs = 0
+		}
+		s.mu.Unlock()
+		if len(b) == 0 {
+			continue
+		}
+		if _, err := s.f.Write(b); err != nil {
+			l.fail(fmt.Errorf("wal: writing %s: %w", s.f.Name(), err))
+			return
+		}
+		l.size.Add(int64(len(b)))
+		s.spare = b[:0]
+		wrote += n
+	}
+	pending := l.unsynced.Add(int64(wrote))
+
+	p := l.opts.Policy
+	if pending == 0 {
+		// Nothing awaits fsync, but the watermark must still advance:
+		// every record with seq <= batchSeq was swapped by this or an
+		// earlier round (see the proof below) and, with the unsynced
+		// counter drained, has also been fsynced. Skipping this leaves
+		// a waiter sleeping forever when its record was covered by a
+		// round whose batchSeq snapshot was below its seq and traffic
+		// then quiesces — no later round would ever broadcast.
+		if p.kind == kindAlways {
+			l.advanceDurable(batchSeq)
+		}
+		return
+	}
+	doSync := force ||
+		p.kind == kindAlways ||
+		(p.kind == kindEveryN && pending >= int64(p.n)) ||
+		time.Since(*lastSync) >= l.syncEvery()
+	if !doSync {
+		return
+	}
+	for i := range l.shards {
+		if err := l.shards[i].f.Sync(); err != nil {
+			l.fail(fmt.Errorf("wal: fsync %s: %w", l.shards[i].f.Name(), err))
+			return
+		}
+	}
+	l.unsynced.Add(-pending)
+	*lastSync = time.Now()
+
+	// Durability watermark: every record with seq <= batchSeq is now on
+	// disk. Proof: seq is assigned inside the shard's append critical
+	// section; if that assignment happened before the batchSeq load,
+	// the whole critical section — including the buffer append — is
+	// serialized before this round's swap of the same shard's buffer
+	// (both run under the shard mutex, and the swap started after the
+	// load). So the record was in a swapped buffer of this round or an
+	// earlier one, and every file was just fsynced.
+	l.advanceDurable(batchSeq)
+
+	if l.opts.CompactAfter > 0 && l.opts.OnFull != nil &&
+		l.size.Load() > l.opts.CompactAfter &&
+		l.compacting.CompareAndSwap(false, true) {
+		go func() {
+			defer l.compacting.Store(false)
+			l.opts.OnFull()
+		}()
+	}
+}
+
+// testHookBatchSeq, when set by a test before Open, runs right after
+// the watermark snapshot — widening the snapshot→swap window that a
+// racing append can land in.
+var testHookBatchSeq func()
+
+// advanceDurable raises the group-commit watermark and wakes waiters.
+func (l *Log) advanceDurable(seq uint64) {
+	l.syncMu.Lock()
+	if seq > l.durableSeq {
+		l.durableSeq = seq
+		l.syncCond.Broadcast()
+	}
+	l.syncMu.Unlock()
+}
+
+// syncEvery is the policy's time bound on unsynced data.
+func (l *Log) syncEvery() time.Duration {
+	if l.opts.Policy.kind == kindInterval {
+		return l.opts.Policy.d
+	}
+	return time.Second // EveryN backstop
+}
+
+// rotate is the syncer-side generation switch.
+func (l *Log) rotate(lastSync *time.Time) (uint64, error) {
+	l.gatherWrite(true, lastSync)
+	if err := l.Err(); err != nil {
+		return 0, err
+	}
+	newGen := l.gen.Load() + 1
+	files := make([]*os.File, len(l.shards))
+	for i := range l.shards {
+		f, err := createLogFile(l.dir, newGen, i)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				files[j].Close()
+				os.Remove(files[j].Name())
+			}
+			return 0, err
+		}
+		files[i] = f
+	}
+	if err := syncDir(l.dir); err != nil {
+		for i := range files {
+			files[i].Close()
+			os.Remove(files[i].Name())
+		}
+		return 0, err
+	}
+	// Point of no return: once any shard writes to a new-generation
+	// file, the generation counter must advance with it — otherwise a
+	// later Rotate would recompute the same newGen and O_TRUNC files
+	// holding live (possibly fsynced and acknowledged) records. So the
+	// swap, the counter and the size reset happen before the old files'
+	// fallible closes.
+	olds := make([]*os.File, len(l.shards))
+	for i := range l.shards {
+		s := &l.shards[i]
+		olds[i] = s.f
+		s.mu.Lock()
+		s.f = files[i]
+		s.mu.Unlock()
+	}
+	l.gen.Store(newGen)
+	l.size.Store(int64(len(l.shards)) * logHeaderSize)
+	var firstErr error
+	for _, old := range olds {
+		if err := old.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return newGen, nil
+}
+
+// finalClose runs after the last gatherWrite on shutdown.
+func (l *Log) finalClose() {
+	for i := range l.shards {
+		l.shards[i].f.Close()
+	}
+	// Everything appended before Close is durable; release waiters.
+	l.syncMu.Lock()
+	l.durableSeq = l.seq.Load()
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+}
+
+// fail latches the first I/O error and releases every waiter.
+func (l *Log) fail(err error) {
+	l.syncMu.Lock()
+	if l.ioErr == nil {
+		l.ioErr = err
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+}
+
+// CommitSnapshot writes a snapshot for generation gen: the caller's
+// write function streams entries into a temporary file, which is
+// fsynced and renamed to snap-<gen>.db; older generations' logs and
+// snapshots are then pruned. Call after Rotate returned gen.
+func (l *Log) CommitSnapshot(gen uint64, write func(*SnapshotWriter) error) error {
+	tmp, err := os.CreateTemp(l.dir, "tmp-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	sw := NewSnapshotWriter(tmp, gen)
+	if err := write(sw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := sw.Close(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(l.dir, snapName(gen))); err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	return l.prune(gen)
+}
+
+// prune removes log and snapshot files of generations below keep.
+func (l *Log) prune(keep uint64) error {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, ent := range ents {
+		gen, _, kind := parseName(ent.Name())
+		if kind == fileOther || gen >= keep {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, ent.Name())); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -45,12 +45,15 @@
 package spectm
 
 import (
+	"time"
+
 	"spectm/internal/btree"
 	"spectm/internal/core"
 	"spectm/internal/deque"
 	"spectm/internal/intset"
 	"spectm/internal/mwcas"
 	"spectm/internal/shardmap"
+	"spectm/internal/wal"
 	"spectm/internal/word"
 )
 
@@ -200,6 +203,48 @@ func WithInitialBuckets(n int) MapOption { return shardmap.WithInitialBuckets(n)
 // operations share e's meta-data, so they compose with every other
 // transaction on the engine.
 func NewMap(e *Engine, opts ...MapOption) *Map { return shardmap.New(e, opts...) }
+
+// FsyncPolicy selects when a persistent map's write-ahead log fsyncs:
+// FsyncAlways (every mutation blocks for its group commit), FsyncEveryN
+// (at least once every n records) or FsyncInterval (at most every d).
+type FsyncPolicy = wal.Policy
+
+// FsyncAlways makes every mutation wait for the group commit covering
+// its log record — full durability at fsync-latency cost.
+func FsyncAlways() FsyncPolicy { return wal.Always() }
+
+// FsyncEveryN fsyncs at least once every n records; mutations never
+// block, a crash can lose up to n acknowledged operations.
+func FsyncEveryN(n int) FsyncPolicy { return wal.EveryN(n) }
+
+// FsyncInterval fsyncs at most every d; mutations never block, a crash
+// can lose up to d worth of acknowledged operations.
+func FsyncInterval(d time.Duration) FsyncPolicy { return wal.Interval(d) }
+
+// ParseFsyncPolicy parses the flag syntax "always", "every=N" or
+// "interval=DURATION".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParsePolicy(s) }
+
+// WithPersistence makes the map durable: every committed mutation is
+// appended to a per-shard write-ahead log under dir (fsynced per
+// policy; the zero FsyncPolicy means interval=1s) and construction
+// replays any state already there. NewMap panics if dir cannot be
+// opened; OpenMap reports it as an error instead.
+func WithPersistence(dir string, policy FsyncPolicy) MapOption {
+	return shardmap.WithPersistence(dir, policy)
+}
+
+// WithCompactAfter sets the log size (bytes) that triggers an automatic
+// snapshot + log compaction on a persistent map (default 128 MiB).
+func WithCompactAfter(n int64) MapOption { return shardmap.WithCompactAfter(n) }
+
+// OpenMap creates a persistent map over engine e, recovering whatever
+// state dir holds (an empty or absent directory yields an empty map).
+// The map's Save method snapshots and compacts the log on demand — the
+// serving layer's BGSAVE — and Close flushes and closes it.
+func OpenMap(e *Engine, dir string, opts ...MapOption) (*Map, error) {
+	return shardmap.Open(e, dir, opts...)
+}
 
 // Set is a concurrent integer set in one of the paper's variants.
 type Set = intset.Set

@@ -289,3 +289,50 @@ func TestFacadeMap(t *testing.T) {
 		t.Fatalf("Len = %d want %d", m.Len(), want)
 	}
 }
+
+func TestFacadePersistentMap(t *testing.T) {
+	dir := t.TempDir()
+	e := New(WithLayout(LayoutVal))
+	m, err := OpenMap(e, dir, WithPersistence(dir, FsyncEveryN(8)), WithShards(2))
+	if err != nil {
+		t.Fatalf("OpenMap: %v", err)
+	}
+	th := m.NewThread()
+	for i := 0; i < 100; i++ {
+		th.Put(fmt.Sprintf("k%03d", i), FromUint(uint64(i)))
+	}
+	th.Delete("k000")
+	if err := m.Save(); err != nil { // snapshot + compaction
+		t.Fatalf("Save: %v", err)
+	}
+	th.Put("tail", FromUint(7))
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	m2, err := OpenMap(New(WithLayout(LayoutVal)), dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	th2 := m2.NewThread()
+	if _, ok := th2.Get("k000"); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	if v, ok := th2.Get("k042"); !ok || v.Uint() != 42 {
+		t.Fatalf("k042 = %v,%v", v.Uint(), ok)
+	}
+	if v, ok := th2.Get("tail"); !ok || v.Uint() != 7 {
+		t.Fatalf("post-snapshot tail = %v,%v", v.Uint(), ok)
+	}
+	if m2.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", m2.Len())
+	}
+
+	// The parse helper round-trips every policy syntax.
+	for _, s := range []string{"always", "every=64", "interval=250ms"} {
+		if _, err := ParseFsyncPolicy(s); err != nil {
+			t.Errorf("ParseFsyncPolicy(%q): %v", s, err)
+		}
+	}
+}
