@@ -8,6 +8,8 @@
 //
 //	spectm-server -addr 127.0.0.1:6399 -maxconns 256
 //	spectm-server -data-dir /var/lib/spectm -fsync interval=100ms
+//	spectm-server -data-dir /var/lib/spectm -repl-listen 127.0.0.1:6400
+//	spectm-server -addr 127.0.0.1:6401 -replica-of 127.0.0.1:6400
 package main
 
 import (
@@ -25,13 +27,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:6399", "listen address")
-		maxConns = flag.Int("maxconns", 256, "maximum concurrent connections")
-		shards   = flag.Int("shards", 0, "map shard count (0 = default: ≥ GOMAXPROCS)")
-		buckets  = flag.Int("buckets", 0, "initial buckets per shard (0 = default 64)")
-		layout   = flag.String("layout", "val", "engine meta-data layout: val, tvar or orec")
-		dataDir  = flag.String("data-dir", "", "persistence directory: per-shard write-ahead logs + snapshots (empty = in-memory only)")
-		fsync    = flag.String("fsync", "interval=1s", "WAL fsync policy: always, every=N or interval=DURATION")
+		addr       = flag.String("addr", "127.0.0.1:6399", "listen address")
+		maxConns   = flag.Int("maxconns", 256, "maximum concurrent connections")
+		shards     = flag.Int("shards", 0, "map shard count (0 = default: ≥ GOMAXPROCS)")
+		buckets    = flag.Int("buckets", 0, "initial buckets per shard (0 = default 64)")
+		layout     = flag.String("layout", "val", "engine meta-data layout: val, tvar or orec")
+		dataDir    = flag.String("data-dir", "", "persistence directory: per-shard write-ahead logs + snapshots (empty = in-memory only)")
+		fsync      = flag.String("fsync", "interval=1s", "WAL fsync policy: always, every=N or interval=DURATION")
+		replListen = flag.String("repl-listen", "", "serve WAL-shipping replication to replicas on this address (requires -data-dir)")
+		replicaOf  = flag.String("replica-of", "", "run as a read-only replica of the primary whose -repl-listen is at host:port")
 	)
 	flag.Parse()
 
@@ -62,6 +66,12 @@ func main() {
 		}
 		opts = append(opts, server.WithPersistence(*dataDir, policy))
 	}
+	if *replListen != "" {
+		opts = append(opts, server.WithReplListen(*replListen))
+	}
+	if *replicaOf != "" {
+		opts = append(opts, server.WithReplicaOf(*replicaOf))
+	}
 
 	s, err := server.New(opts...)
 	if err != nil {
@@ -70,11 +80,18 @@ func main() {
 	if err := s.Listen(*addr); err != nil {
 		log.Fatalf("spectm-server: %v", err)
 	}
-	if *dataDir != "" {
+	switch {
+	case *replicaOf != "":
+		log.Printf("spectm-server: replica of %s, listening on %s (read-only; layout=%s maxconns=%d data-dir=%q)",
+			*replicaOf, s.Addr(), *layout, *maxConns, *dataDir)
+	case *dataDir != "":
 		log.Printf("spectm-server: listening on %s (layout=%s maxconns=%d data-dir=%s fsync=%s, %d keys recovered)",
 			s.Addr(), *layout, *maxConns, *dataDir, *fsync, s.Map().Len())
-	} else {
+	default:
 		log.Printf("spectm-server: listening on %s (layout=%s maxconns=%d)", s.Addr(), *layout, *maxConns)
+	}
+	if *replListen != "" {
+		log.Printf("spectm-server: replication listener on %s", s.ReplAddr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,243 @@
+// Repl workload: load generation for the replication topology. Three
+// modes measure the two axes FigRepl plots — what replication costs the
+// primary, and what reads on a replica are worth under each consistency
+// choice:
+//
+//	write     mixed writes against the primary (the durable, replicated
+//	          hot path) — run with 0..N replicas attached
+//	read      GET-only traffic against a replica (eventual consistency:
+//	          no gate, maximum throughput)
+//	read-ryw  read-your-writes: each pipeline round first fetches the
+//	          primary's REPLPOS and gates on the replica with WAITOFF,
+//	          then issues its GETs — the price of the consistency gate
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"spectm/internal/core"
+	"spectm/internal/proto"
+	"spectm/internal/rng"
+)
+
+// ReplWorkload describes one replication load-generation run.
+type ReplWorkload struct {
+	PrimaryAddr string // always required (REPLPOS for read-ryw, writes for write mode)
+	ReplicaAddr string // read modes
+	Mode        string // "write" (default), "read" or "read-ryw"
+
+	Conns    int // concurrent client connections (default 4)
+	Pipeline int // commands in flight per connection (default 16)
+	Keys     int // distinct key population (default 16384)
+	Dist     string
+
+	Duration time.Duration
+	Seed     uint64
+
+	SkipPreload bool // skip SETting the keys on the primary first
+}
+
+// RunRepl executes the workload, reporting client-side throughput.
+func RunRepl(w ReplWorkload) (NetResult, error) {
+	switch w.Mode {
+	case "", "write":
+		// The write mix rides the net harness against the primary:
+		// update-heavy SETs plus the other mutating commands.
+		return RunNet(NetWorkload{
+			Addr: w.PrimaryAddr, Conns: w.Conns, Pipeline: w.Pipeline,
+			Keys:   w.Keys,
+			GetPct: 20, SetPct: 60, DelPct: 8, CASPct: 8, SwapPct: 2, MGetPct: 2,
+			Dist: w.Dist, Duration: w.Duration, Seed: w.Seed,
+			SkipPreload: w.SkipPreload,
+		})
+	case "read":
+		// Pure GETs against the replica. The preload must go to the
+		// primary (the replica is read-only), so callers preload and
+		// gate with ReplWait first.
+		return RunNet(NetWorkload{
+			Addr: w.ReplicaAddr, Conns: w.Conns, Pipeline: w.Pipeline,
+			Keys:   w.Keys,
+			GetPct: 100,
+			Dist:   w.Dist, Duration: w.Duration, Seed: w.Seed,
+			SkipPreload: true,
+		})
+	case "read-ryw":
+		return runReplRYW(w)
+	default:
+		return NetResult{}, fmt.Errorf("harness: unknown repl mode %q", w.Mode)
+	}
+}
+
+// replPos round-trips REPLPOS.
+func (c *netConn) replPos() (uint64, error) {
+	c.wr.Array(1)
+	c.wr.Arg("REPLPOS")
+	if err := c.wr.Flush(); err != nil {
+		return 0, err
+	}
+	var rep proto.Reply
+	if err := c.rd.ReadReply(&rep); err != nil {
+		return 0, err
+	}
+	if rep.Kind != proto.KindInt || rep.Int < 0 {
+		return 0, fmt.Errorf("harness: REPLPOS → kind %q %q", rep.Kind, rep.Str)
+	}
+	return uint64(rep.Int), nil
+}
+
+// waitOff round-trips WAITOFF, reporting whether the position was
+// reached in time.
+func (c *netConn) waitOff(pos uint64, timeout time.Duration) (bool, error) {
+	c.wr.Array(3)
+	c.wr.Arg("WAITOFF")
+	c.wr.ArgUint(pos)
+	c.wr.ArgUint(uint64(timeout.Milliseconds()))
+	if err := c.wr.Flush(); err != nil {
+		return false, err
+	}
+	var rep proto.Reply
+	if err := c.rd.ReadReply(&rep); err != nil {
+		return false, err
+	}
+	return rep.Kind == proto.KindSimple, nil
+}
+
+// ReplWait blocks until the replica has applied the primary's current
+// position — the test/benchmark barrier between preloading a primary
+// and reading its replicas.
+func ReplWait(primaryAddr, replicaAddr string, timeout time.Duration) error {
+	pc, err := dialServer(primaryAddr, timeout)
+	if err != nil {
+		return err
+	}
+	defer pc.close()
+	rc, err := dialServer(replicaAddr, timeout)
+	if err != nil {
+		return err
+	}
+	defer rc.close()
+	pos, err := pc.replPos()
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		ok, err := rc.waitOff(pos, time.Second)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("harness: replica %s did not reach primary position %d in %v",
+				replicaAddr, pos, timeout)
+		}
+	}
+}
+
+// runReplRYW is the gated read loop: REPLPOS on the primary, WAITOFF on
+// the replica, then one pipeline of GETs. Ops counts GETs only; the two
+// control round trips are the measured overhead.
+func runReplRYW(w ReplWorkload) (NetResult, error) {
+	if w.Conns == 0 {
+		w.Conns = 4
+	}
+	if w.Pipeline == 0 {
+		w.Pipeline = 16
+	}
+	if w.Keys == 0 {
+		w.Keys = 16384
+	}
+	if w.Dist == "" {
+		w.Dist = "uniform"
+	}
+	if w.Duration == 0 {
+		w.Duration = time.Second
+	}
+	if w.Seed == 0 {
+		w.Seed = 0xC0FFEE
+	}
+	if _, err := keyPicker(w.Dist, rng.New(1), w.Keys); err != nil {
+		return NetResult{}, err
+	}
+	keys := make([]string, w.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%08d", i)
+	}
+
+	var errs, gets atomic.Uint64
+	var dialErr atomic.Pointer[error]
+	ops, _, elapsed, mallocs := runWorkers(w.Conns, w.Duration, func(id int) workerBody {
+		pc, err := dialServer(w.PrimaryAddr, 5*time.Second)
+		if err != nil {
+			dialErr.Store(&err)
+			return func(stop *atomic.Bool) (uint64, core.Stats) { return 0, core.Stats{} }
+		}
+		rc, err := dialServer(w.ReplicaAddr, 5*time.Second)
+		if err != nil {
+			pc.close()
+			dialErr.Store(&err)
+			return func(stop *atomic.Bool) (uint64, core.Stats) { return 0, core.Stats{} }
+		}
+		r := rng.New(w.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+		pick, _ := keyPicker(w.Dist, r, w.Keys)
+		var rep proto.Reply
+		return func(stop *atomic.Bool) (uint64, core.Stats) {
+			defer pc.close()
+			defer rc.close()
+			var ops, nGet uint64
+			defer func() { gets.Add(nGet) }()
+			for !stop.Load() {
+				pos, err := pc.replPos()
+				if err != nil {
+					errs.Add(1)
+					return ops, core.Stats{}
+				}
+				ok, err := rc.waitOff(pos, time.Second)
+				if err != nil {
+					errs.Add(1)
+					return ops, core.Stats{}
+				}
+				if !ok {
+					errs.Add(1)
+					continue
+				}
+				for i := 0; i < w.Pipeline; i++ {
+					rc.wr.Array(2)
+					rc.wr.Arg("GET")
+					rc.wr.Arg(keys[pick()])
+					nGet++
+				}
+				if rc.wr.Flush() != nil {
+					errs.Add(1)
+					return ops, core.Stats{}
+				}
+				for i := 0; i < w.Pipeline; i++ {
+					if err := rc.rd.ReadReply(&rep); err != nil {
+						errs.Add(1)
+						return ops, core.Stats{}
+					}
+					if !validReply(opGet, &rep, rc.rd) {
+						errs.Add(1)
+					}
+					ops++
+				}
+			}
+			return ops, core.Stats{}
+		}
+	})
+	if p := dialErr.Load(); p != nil {
+		return NetResult{}, *p
+	}
+	res := NetResult{
+		Ops: ops, Elapsed: elapsed, Errors: errs.Load(), Gets: gets.Load(),
+	}
+	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	if res.Ops > 0 {
+		res.AllocsPerOp = float64(mallocs) / float64(res.Ops)
+	}
+	return res, nil
+}

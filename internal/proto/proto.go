@@ -62,3 +62,22 @@ const (
 // ErrProtocol reports malformed input on the stream. After it, the
 // stream is unsynchronized and must be closed.
 var ErrProtocol = errors.New("proto: protocol error")
+
+// CmdEq reports whether the wire word b equals the upper-case command
+// name, ASCII-case-insensitively — the shared comparator of every
+// command dispatcher over this framing.
+func CmdEq(b []byte, upper string) bool {
+	if len(b) != len(upper) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != upper[i] {
+			return false
+		}
+	}
+	return true
+}

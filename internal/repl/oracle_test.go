@@ -1,0 +1,505 @@
+// The replication consistency oracle: seedable model-based checking of
+// the two guarantees DESIGN.md promises for replicas.
+//
+//   - Prefix consistency: at any batch boundary, each replica's state
+//     restricted to one primary shard equals the fold of some prefix of
+//     that shard's WAL record stream. The WAL files themselves are the
+//     history — the checker decodes them and searches for a satisfying
+//     cut.
+//   - Monotonic reads: a reader pinned to one replica never observes a
+//     key's version going backwards.
+//
+// Writers own disjoint key spaces (uniform + zipf pickers within each),
+// so per-key version order equals per-key WAL order — racing writers on
+// one key may persist in either order (the documented durability
+// trade), which would make "version went backwards" an unusable signal.
+// Every written value is key-unique: value = version counter for that
+// key, strictly increasing.
+package repl
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spectm/internal/core"
+	"spectm/internal/rng"
+	"spectm/internal/shardmap"
+	"spectm/internal/wal"
+	"spectm/internal/word"
+)
+
+const oracleSeed = 0x0D15EA5E
+
+// histRec is one decoded history record.
+type histRec struct {
+	op   byte
+	key  string
+	val  uint64 // payload (word >> 2)
+	key2 string
+	val2 uint64
+}
+
+// decodeHistories reads every shard log of the (single) generation in
+// dir, cut at the frontier offsets — whole records by construction.
+func decodeHistories(t *testing.T, dir string, cur *wal.Cursor) [][]histRec {
+	t.Helper()
+	hists := make([][]histRec, len(cur.Offs))
+	for shard := range cur.Offs {
+		path := filepath.Join(dir, wal.LogName(cur.Gen, shard))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		limit := cur.Offs[shard]
+		if int64(len(data)) < limit {
+			t.Fatalf("%s holds %d bytes, frontier says %d", path, len(data), limit)
+		}
+		p := data[wal.LogHeaderSize:limit]
+		for len(p) > 0 {
+			rec, n, err := wal.DecodeRecord(p)
+			if err != nil {
+				t.Fatalf("%s: record at offset %d: %v", path, limit-int64(len(p)), err)
+			}
+			hists[shard] = append(hists[shard], histRec{
+				op: rec.Op, key: string(rec.Key), val: rec.Val >> 2,
+				key2: string(rec.Key2), val2: rec.Val2 >> 2,
+			})
+			p = p[n:]
+		}
+	}
+	return hists
+}
+
+// foldInto applies one history record to a state map.
+func (h histRec) foldInto(state map[string]uint64) {
+	switch h.op {
+	case wal.OpDelete:
+		delete(state, h.key)
+	case wal.OpSwap2:
+		state[h.key] = h.val
+		state[h.key2] = h.val2
+	default:
+		state[h.key] = h.val
+	}
+}
+
+// touches reports whether h writes k, and the value it assigns.
+func (h histRec) touches(k string) (uint64, bool) {
+	if h.op != wal.OpDelete && h.key == k {
+		return h.val, true
+	}
+	if h.op == wal.OpSwap2 && h.key2 == k {
+		return h.val2, true
+	}
+	return 0, false
+}
+
+// checkPrefix verifies that replica state restricted to one shard's
+// keys equals the fold of some prefix of that shard's history. Values
+// are key-unique, so the last history record producing a value the
+// replica still holds is the earliest possible cut; the checker folds
+// up to it and then walks forward looking for an exact match.
+func checkPrefix(t *testing.T, shard int, hist []histRec, replica map[string]uint64) {
+	t.Helper()
+	shardKeys := map[string]struct{}{}
+	written := map[string]map[uint64]struct{}{} // key → set of values its history assigned
+	note := func(k string, v uint64) {
+		vs, ok := written[k]
+		if !ok {
+			vs = map[uint64]struct{}{}
+			written[k] = vs
+		}
+		vs[v] = struct{}{}
+	}
+	lastIdx := -1
+	for i, h := range hist {
+		shardKeys[h.key] = struct{}{}
+		if h.op == wal.OpSwap2 {
+			shardKeys[h.key2] = struct{}{}
+		}
+		for _, k := range [2]string{h.key, h.key2} {
+			if k == "" {
+				continue
+			}
+			if v, ok := h.touches(k); ok {
+				note(k, v)
+				if rv, had := replica[k]; had && rv == v && i > lastIdx {
+					lastIdx = i
+				}
+			}
+		}
+	}
+	// Every replica value for a shard key must appear in that key's
+	// history.
+	for k := range shardKeys {
+		rv, ok := replica[k]
+		if !ok {
+			continue
+		}
+		if _, ok := written[k][rv]; !ok {
+			t.Errorf("shard %d: replica holds %q=%d, never written in its history", shard, k, rv)
+			return
+		}
+	}
+
+	// Fold the mandatory prefix, then search forward for a cut whose
+	// fold matches the replica exactly (restricted to this shard).
+	state := map[string]uint64{}
+	for i := 0; i <= lastIdx; i++ {
+		hist[i].foldInto(state)
+	}
+	mismatch := func() int {
+		n := 0
+		for k := range shardKeys {
+			sv, sok := state[k]
+			rv, rok := replica[k]
+			if sok != rok || (sok && sv != rv) {
+				n++
+			}
+		}
+		return n
+	}
+	if mismatch() == 0 {
+		return
+	}
+	for c := lastIdx + 1; c < len(hist); c++ {
+		hist[c].foldInto(state)
+		if mismatch() == 0 {
+			return
+		}
+	}
+	t.Errorf("shard %d: replica state matches no prefix of the %d-record history (mandatory cut %d)",
+		shard, len(hist), lastIdx)
+}
+
+// oracleWriter owns one key space and mirrors every operation, so each
+// primary result is also exactly checkable (disjoint keys ⇒ isolated
+// maps).
+type oracleWriter struct {
+	th     *shardmap.Thread
+	keys   []string
+	mirror map[string]uint64 // expected primary state (version payloads)
+	next   map[string]uint64 // next version per key (never reused)
+	r      *rng.State
+	zipf   *rand.Zipf
+}
+
+func newOracleWriter(th *shardmap.Thread, id, nkeys int, seed int64) *oracleWriter {
+	w := &oracleWriter{
+		th:     th,
+		keys:   make([]string, nkeys),
+		mirror: map[string]uint64{},
+		next:   map[string]uint64{},
+		r:      rng.New(uint64(seed) ^ (uint64(id)+1)*0x9e3779b97f4a7c15),
+	}
+	for i := range w.keys {
+		w.keys[i] = fmt.Sprintf("w%d-%05d", id, i)
+		w.next[w.keys[i]] = 1
+	}
+	w.zipf = rand.NewZipf(rand.New(rand.NewSource(seed+int64(id))), 1.1, 1, uint64(nkeys-1))
+	return w
+}
+
+func (w *oracleWriter) pick() string {
+	if w.r.Intn(2) == 0 {
+		return w.keys[w.r.Intn(uint64(len(w.keys)))]
+	}
+	return w.keys[w.zipf.Uint64()]
+}
+
+func (w *oracleWriter) step(t *testing.T, step int) {
+	k := w.pick()
+	switch w.r.Intn(10) {
+	case 0, 1: // delete
+		_, want := w.mirror[k]
+		if got := w.th.Delete(k); got != want {
+			t.Errorf("step %d: Delete(%q) = %v, mirror says %v", step, k, got, want)
+		}
+		delete(w.mirror, k)
+	case 2, 3: // CAS from the mirrored value (hit) or a bogus one (miss)
+		cur, ok := w.mirror[k]
+		old := cur
+		if !ok || w.r.Intn(4) == 0 {
+			old = 1 << 40 // never a real version
+		}
+		v := w.next[k]
+		w.next[k] = v + 1
+		want := ok && old == cur
+		if got := w.th.CompareAndSwap(k, word.FromUint(old), word.FromUint(v)); got != want {
+			t.Errorf("step %d: CAS(%q) = %v, mirror says %v", step, k, got, want)
+		}
+		if want {
+			w.mirror[k] = v
+		}
+	default: // put
+		v := w.next[k]
+		w.next[k] = v + 1
+		_, had := w.mirror[k]
+		if got := w.th.Put(k, word.FromUint(v)); got != !had {
+			t.Errorf("step %d: Put(%q) = %v, mirror says %v", step, k, got, !had)
+		}
+		w.mirror[k] = v
+	}
+}
+
+// pausedRep is one replica plus the freeze plumbing for consistent
+// mid-stream state reads.
+type pausedRep struct {
+	r     *Replica
+	th    *shardmap.Thread // cached state-dump thread
+	pause chan chan func()
+}
+
+// freeze asks the applier to stop at its next batch boundary, returning
+// a resume func, or nil when the applier is idle/unreachable right now.
+func (rp *pausedRep) freeze() func() {
+	req := make(chan func(), 1)
+	select {
+	case rp.pause <- req:
+	default:
+		return nil // a previous request is still pending
+	}
+	select {
+	case resume := <-req:
+		return resume
+	case <-time.After(2 * time.Second):
+	}
+	// Withdraw, unless the applier grabbed the request in the window.
+	select {
+	case <-rp.pause:
+		return nil
+	case resume := <-req:
+		return resume
+	case <-time.After(30 * time.Second):
+		return nil // applier's own timeout will release it
+	}
+}
+
+// dump reads a map's contents through a cached thread.
+func dumpMap(th *shardmap.Thread) map[string]uint64 {
+	got := map[string]uint64{}
+	th.Range(func(k string, v shardmap.Value) bool {
+		got[k] = v.Uint()
+		return true
+	})
+	return got
+}
+
+// TestOracleReplication is the acceptance-criteria oracle: mixed writes
+// on the primary, concurrent reads on 2 replicas, periodic frozen
+// prefix-consistency checks, monotonic-read checking throughout, exact
+// convergence at the end. ≥1000 iterations per writer even under
+// -short.
+func TestOracleReplication(t *testing.T) {
+	const writers = 3
+	const nkeys = 96
+	steps := 6000
+	if testing.Short() {
+		steps = 1200
+	}
+	t.Logf("seed %#x, %d writers × %d steps", oracleSeed, writers, steps)
+
+	dir := t.TempDir()
+	e, err := core.NewChecked(core.Config{Layout: core.LayoutVal, MaxThreads: writers + 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := shardmap.Open(e, dir,
+		shardmap.WithPersistence(dir, wal.EveryN(4)),
+		shardmap.WithShards(2), shardmap.WithInitialBuckets(8),
+		shardmap.WithCompactAfter(-1)) // single generation: the files are the full history
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(m, WithHeartbeat(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go src.Serve(ln)
+	defer func() {
+		src.Close()
+		m.Close()
+	}()
+
+	reps := make([]*pausedRep, 2)
+	for i := range reps {
+		rm := shardmap.New(valEngine(t), shardmap.WithShards(2), shardmap.WithInitialBuckets(8))
+		rp := &pausedRep{pause: make(chan chan func(), 1)}
+		rp.r = NewReplica(rm, ln.Addr().String(), WithReadTimeout(5*time.Second))
+		rp.th = rm.NewThread()
+		rp.r.onBatch = func() {
+			select {
+			case req := <-rp.pause:
+				resume := make(chan struct{})
+				req <- func() { close(resume) }
+				select {
+				case <-resume:
+				case <-time.After(30 * time.Second): // checker died; self-release
+				}
+			default:
+			}
+		}
+		go rp.r.Run()
+		reps[i] = rp
+	}
+	defer func() {
+		for _, rp := range reps {
+			rp.r.Close()
+		}
+	}()
+
+	// Writers.
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	ws := make([]*oracleWriter, writers)
+	for i := range ws {
+		ws[i] = newOracleWriter(m.NewThread(), i, nkeys, oracleSeed)
+	}
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w *oracleWriter) {
+			defer wg.Done()
+			for s := 0; s < steps && !t.Failed(); s++ {
+				w.step(t, s)
+				if s%40 == 39 {
+					// Pace the run so the stream stays live across many
+					// checker rounds instead of finishing in one burst.
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(i, w)
+	}
+	writersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(writersDone)
+	}()
+
+	// Monotonic readers: one per replica, over every writer's key
+	// space, tracking each key's highest observed version.
+	var rwg sync.WaitGroup
+	var allKeys []string
+	for _, w := range ws {
+		allKeys = append(allKeys, w.keys...)
+	}
+	readerThr := make([]*shardmap.Thread, len(reps))
+	for ri := range reps {
+		readerThr[ri] = reps[ri].r.Map().NewThread()
+	}
+	for ri := range reps {
+		rwg.Add(1)
+		go func(ri int, th *shardmap.Thread) {
+			defer rwg.Done()
+			seen := map[string]uint64{}
+			r := rng.New(oracleSeed ^ uint64(ri+100))
+			for !stop.Load() && !t.Failed() {
+				k := allKeys[r.Intn(uint64(len(allKeys)))]
+				if v, ok := th.Get(k); ok {
+					if prev, had := seen[k]; had && v.Uint() < prev {
+						t.Errorf("replica %d: non-monotonic read of %q: %d after %d", ri, k, v.Uint(), prev)
+						return
+					}
+					seen[k] = v.Uint()
+				}
+			}
+		}(ri, readerThr[ri])
+	}
+
+	// Frozen prefix checks on the main goroutine while the writers run.
+	checks := 0
+	for running := true; running; {
+		select {
+		case <-writersDone:
+			running = false
+		case <-time.After(100 * time.Millisecond):
+			for ri, rp := range reps {
+				resume := rp.freeze()
+				if resume == nil {
+					continue
+				}
+				state := dumpMap(rp.th)
+				var cur wal.Cursor
+				m.Log().Cursor(&cur)
+				resume()
+				if cur.Gen != 1 {
+					t.Fatalf("oracle expects a single generation, log is at %d", cur.Gen)
+				}
+				hists := decodeHistories(t, dir, &cur)
+				keyShard := map[string]int{}
+				for s, hist := range hists {
+					for _, h := range hist {
+						keyShard[h.key] = s
+						if h.op == wal.OpSwap2 {
+							keyShard[h.key2] = s
+						}
+					}
+				}
+				perShard := make([]map[string]uint64, len(hists))
+				for i := range perShard {
+					perShard[i] = map[string]uint64{}
+				}
+				for k, v := range state {
+					s, ok := keyShard[k]
+					if !ok {
+						t.Errorf("replica %d: key %q not in any shard history", ri, k)
+						continue
+					}
+					perShard[s][k] = v
+				}
+				for s := range hists {
+					checkPrefix(t, s, hists[s], perShard[s])
+				}
+				checks++
+			}
+			if t.Failed() {
+				stop.Store(true)
+				<-writersDone
+				running = false
+			}
+		}
+	}
+	stop.Store(true)
+	rwg.Wait()
+	// Unstick any pause request a racing applier may still deliver.
+	for _, rp := range reps {
+		select {
+		case <-rp.pause:
+		default:
+		}
+	}
+	if t.Failed() {
+		return
+	}
+	if checks == 0 {
+		t.Error("the run finished without a single frozen prefix check")
+	}
+	t.Logf("%d frozen prefix checks", checks)
+
+	// Quiesce and converge: every replica must equal the primary, which
+	// must equal the union of the writer mirrors.
+	want := map[string]uint64{}
+	for _, w := range ws {
+		for k, v := range w.mirror {
+			want[k] = v
+		}
+	}
+	requireEqualMaps(t, dumpMap(m.NewThread()), want, "primary vs mirrors")
+	pos := src.Position()
+	for ri, rp := range reps {
+		if !rp.r.WaitApplied(pos, 30*time.Second) {
+			t.Fatalf("replica %d stuck at %d, primary at %d", ri, rp.r.AppliedPos(), pos)
+		}
+		requireEqualMaps(t, dumpMap(rp.th), want, fmt.Sprintf("replica %d final", ri))
+	}
+}

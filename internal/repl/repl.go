@@ -1,0 +1,97 @@
+// Package repl implements asynchronous WAL-shipping replication for
+// spectm.Map: a primary streams its committed write-ahead-log records
+// to any number of read-only replicas, trading strict single-node
+// consistency for cheap read scaling — the paper's
+// generality-for-performance move applied one level up the stack.
+//
+// # Roles
+//
+// A Source serves the primary side on its own listener (the data plane
+// is untouched): each accepted connection is one replica link. A
+// Replica dials a Source, bootstraps (full snapshot or cursor resume),
+// then applies the record stream through the map's idempotent apply
+// path, acknowledging progress and persisting its cursor so a restart
+// resumes instead of re-syncing.
+//
+// # Stream protocol
+//
+// Both directions use the internal/proto command framing (arrays of
+// bulk strings); neither side sends replies. The replica speaks first:
+//
+//	SYNC                             full bootstrap requested
+//	PSYNC  gen nshards blob          resume from a persisted cursor
+//	ACK    recs bytes                cumulative applied, stream-relative
+//
+// The primary answers with exactly one of
+//
+//	FULL   gen nshards recs bytes blob   snapshot bootstrap begins;
+//	                                     (recs, bytes) is the absolute
+//	                                     base position of the cursor
+//	CONT   gen nshards recs bytes blob   resume accepted at the echoed
+//	                                     cursor, base as above
+//
+// and then streams
+//
+//	SNAP    payload                  snapshot chunk (FULL only)
+//	SNAPEND                          snapshot complete, tailing begins
+//	BATCH   shard gen off payload    contiguous log-file bytes for one
+//	                                     shard at byte offset off; frames
+//	                                     need not end on record
+//	                                     boundaries, the replica
+//	                                     reassembles
+//	ROTATE  gen                      generation switch, offsets reset
+//	PING    recs bytes               idle heartbeat with the primary's
+//	                                     current absolute position
+//
+// The cursor blob is a compact binary vector: nshards uvarint-encoded
+// per-shard byte offsets into the generation's log files (see wire.go).
+//
+// # What is guaranteed, and what is traded away
+//
+// Replication is asynchronous: a write is acknowledged by the primary
+// before any replica has seen it. Each replica applies every shard's
+// records in primary log order, so a replica's state per shard is
+// always the effect of a prefix of the primary's history (prefix
+// consistency), converging to the primary when writes pause. Reads on
+// one replica connection are monotonic per shard. Cross-shard cuts,
+// read-your-writes (without the WAITOFF gate) and synchronous
+// durability on the replica quorum are deliberately not offered — see
+// DESIGN.md "Replication".
+package repl
+
+import "time"
+
+// Wire message names. Replica → primary: SYNC, PSYNC, ACK. Primary →
+// replica: FULL, CONT, SNAP, SNAPEND, BATCH, ROTATE, PING.
+const (
+	cmdSync    = "SYNC"
+	cmdPSync   = "PSYNC"
+	cmdAck     = "ACK"
+	cmdFull    = "FULL"
+	cmdCont    = "CONT"
+	cmdSnap    = "SNAP"
+	cmdSnapEnd = "SNAPEND"
+	cmdBatch   = "BATCH"
+	cmdRotate  = "ROTATE"
+	cmdPing    = "PING"
+)
+
+// Limits and defaults.
+const (
+	// MaxShards bounds the shard count a handshake may claim; a blob
+	// above it is a protocol error, not an allocation request.
+	MaxShards = 4096
+
+	// maxBatch bounds one BATCH payload (whole records only). It must
+	// stay at or below proto.MaxBulk.
+	maxBatch = 256 << 10
+
+	// snapChunk is the SNAP payload size a full sync streams in.
+	snapChunk = 256 << 10
+
+	defaultHeartbeat  = time.Second
+	defaultAckEvery   = 64 << 10         // bytes applied between ACKs
+	defaultCheckpoint = 1 << 20          // bytes applied between cursor checkpoints
+	writeTimeout      = 30 * time.Second // per flush toward a replica
+	handshakeTimeout  = 10 * time.Second
+)

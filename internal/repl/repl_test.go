@@ -1,0 +1,277 @@
+package repl
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"spectm/internal/core"
+	"spectm/internal/shardmap"
+	"spectm/internal/wal"
+	"spectm/internal/word"
+)
+
+func valEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	e, err := core.NewChecked(core.Config{Layout: core.LayoutVal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// primary is one in-process primary: persistent map + serving Source.
+type primary struct {
+	m    *shardmap.Map
+	th   *shardmap.Thread
+	src  *Source
+	ln   net.Listener
+	addr string
+}
+
+func newPrimary(t testing.TB, dir string, mopts []shardmap.Option, sopts ...SourceOption) *primary {
+	t.Helper()
+	mopts = append([]shardmap.Option{shardmap.WithPersistence(dir, wal.EveryN(8))}, mopts...)
+	m, err := shardmap.Open(valEngine(t), dir, mopts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(m, sopts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go src.Serve(ln)
+	return &primary{m: m, th: m.NewThread(), src: src, ln: ln, addr: ln.Addr().String()}
+}
+
+func (p *primary) stop(t testing.TB) {
+	t.Helper()
+	p.src.Close()
+	if err := p.m.Close(); err != nil {
+		t.Errorf("primary close: %v", err)
+	}
+}
+
+// newReplica attaches an in-memory replica and starts its loop.
+func newReplica(t testing.TB, addr string, opts ...ReplicaOption) *Replica {
+	t.Helper()
+	rm := shardmap.New(valEngine(t), shardmap.WithShards(2), shardmap.WithInitialBuckets(8))
+	r := NewReplica(rm, addr, opts...)
+	go r.Run()
+	return r
+}
+
+// contents drains a map through Range.
+func contents(t testing.TB, m *shardmap.Map) map[string]uint64 {
+	t.Helper()
+	got := map[string]uint64{}
+	th := m.NewThread()
+	th.Range(func(k string, v shardmap.Value) bool {
+		got[k] = v.Uint()
+		return true
+	})
+	return got
+}
+
+func requireEqualMaps(t testing.TB, got, want map[string]uint64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d keys, want %d", what, len(got), len(want))
+	}
+	for k, v := range want {
+		if gv, ok := got[k]; !ok || gv != v {
+			t.Errorf("%s: key %q = (%d,%v), want %d", what, k, gv, ok, v)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: unexpected key %q", what, k)
+		}
+	}
+}
+
+// waitCaughtUp blocks until the replica has applied the primary's
+// current position.
+func waitCaughtUp(t testing.TB, p *primary, r *Replica) {
+	t.Helper()
+	pos := p.src.Position()
+	if !r.WaitApplied(pos, 30*time.Second) {
+		t.Fatalf("replica stuck at %d, primary at %d (status %+v)",
+			r.AppliedPos(), pos, r.Status())
+	}
+}
+
+func TestReplFullSyncAndStream(t *testing.T) {
+	p := newPrimary(t, t.TempDir(), []shardmap.Option{shardmap.WithShards(4)})
+	defer p.stop(t)
+
+	// Pre-handshake state arrives via the snapshot...
+	for i := 0; i < 500; i++ {
+		p.th.Put(fmt.Sprintf("boot-%04d", i), word.FromUint(uint64(i)))
+	}
+	r := newReplica(t, p.addr, WithReadTimeout(5*time.Second))
+	defer r.Close()
+	waitCaughtUp(t, p, r)
+	requireEqualMaps(t, contents(t, r.Map()), contents(t, p.m), "after bootstrap")
+
+	// ... later mutations via the record stream.
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("live-%04d", i)
+		p.th.Put(k, word.FromUint(uint64(i)*3))
+		if i%5 == 0 {
+			p.th.Delete(fmt.Sprintf("boot-%04d", i))
+		}
+		if i%7 == 0 {
+			p.th.CompareAndSwap(k, word.FromUint(uint64(i)*3), word.FromUint(uint64(i)*9))
+		}
+	}
+	p.th.Swap2("live-0001", "live-0002")
+	waitCaughtUp(t, p, r)
+	requireEqualMaps(t, contents(t, r.Map()), contents(t, p.m), "after streaming")
+
+	if st := r.Status(); st.FullSyncs != 1 {
+		t.Errorf("replica reports %d full syncs, want 1", st.FullSyncs)
+	}
+}
+
+func TestReplTwoReplicasIndependentProgress(t *testing.T) {
+	p := newPrimary(t, t.TempDir(), nil, WithHeartbeat(50*time.Millisecond))
+	defer p.stop(t)
+	r1 := newReplica(t, p.addr)
+	defer r1.Close()
+	for i := 0; i < 300; i++ {
+		p.th.Put(fmt.Sprintf("k-%03d", i), word.FromUint(uint64(i)))
+	}
+	r2 := newReplica(t, p.addr) // joins mid-history
+	defer r2.Close()
+	for i := 0; i < 300; i++ {
+		p.th.Put(fmt.Sprintf("k-%03d", i), word.FromUint(uint64(i)+1000))
+	}
+	waitCaughtUp(t, p, r1)
+	waitCaughtUp(t, p, r2)
+	want := contents(t, p.m)
+	requireEqualMaps(t, contents(t, r1.Map()), want, "replica 1")
+	requireEqualMaps(t, contents(t, r2.Map()), want, "replica 2")
+
+	// The primary sees both links; once ACKs settle, lag returns to 0.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := p.src.Status()
+		if len(st.Replicas) == 2 {
+			lag := uint64(0)
+			for _, l := range st.Replicas {
+				lag += l.LagRecs
+			}
+			if lag == 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lag never drained: %+v", p.src.Status())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestReplSaveRotation: a BGSAVE rotates the log and prunes old
+// generations mid-stream; the replica must follow (rotation message or
+// forced resync) and still converge.
+func TestReplSaveRotation(t *testing.T) {
+	p := newPrimary(t, t.TempDir(), []shardmap.Option{shardmap.WithShards(2)})
+	defer p.stop(t)
+	r := newReplica(t, p.addr)
+	defer r.Close()
+
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 200; i++ {
+			p.th.Put(fmt.Sprintf("r%d-%03d", round, i), word.FromUint(uint64(round*1000+i)))
+		}
+		if err := p.m.Save(); err != nil {
+			t.Fatalf("round %d: Save: %v", round, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		p.th.Put(fmt.Sprintf("tail-%03d", i), word.FromUint(uint64(i)))
+	}
+	waitCaughtUp(t, p, r)
+	requireEqualMaps(t, contents(t, r.Map()), contents(t, p.m), "after rotations")
+}
+
+// TestReplWaitAppliedGate pins the read-your-writes flow: write on the
+// primary, take its position, gate a replica read on that position.
+func TestReplWaitAppliedGate(t *testing.T) {
+	p := newPrimary(t, t.TempDir(), nil)
+	defer p.stop(t)
+	r := newReplica(t, p.addr)
+	defer r.Close()
+	waitCaughtUp(t, p, r)
+
+	rth := r.Map().NewThread()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("ryw-%03d", i)
+		p.th.Put(k, word.FromUint(uint64(i)))
+		pos := p.src.Position()
+		if !r.WaitApplied(pos, 10*time.Second) {
+			t.Fatalf("i=%d: WaitApplied(%d) timed out at %d", i, pos, r.AppliedPos())
+		}
+		if v, ok := rth.Get(k); !ok || v.Uint() != uint64(i) {
+			t.Fatalf("i=%d: replica read %d,%v after the gate, want %d", i, v.Uint(), ok, i)
+		}
+	}
+	// An unreachable position times out rather than hanging.
+	if r.WaitApplied(p.src.Position()+1_000_000, 50*time.Millisecond) {
+		t.Fatal("WaitApplied reached an impossible position")
+	}
+}
+
+// TestReplPrimaryZeroAlloc pins the acceptance criterion: with
+// replication enabled and a replica streaming, the primary's
+// steady-state Put/Update/CAS paths stay allocation-free.
+func TestReplPrimaryZeroAlloc(t *testing.T) {
+	p := newPrimary(t, t.TempDir(), nil)
+	defer p.stop(t)
+	r := newReplica(t, p.addr)
+	defer r.Close()
+
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("hot-%04d", i)
+		p.th.Put(keys[i], word.FromUint(uint64(i)))
+	}
+	waitCaughtUp(t, p, r) // replica attached and streaming
+	// Warm the log buffers to steady capacity.
+	for i := 0; i < 2000; i++ {
+		p.th.Put(keys[i%len(keys)], word.FromUint(uint64(i)))
+	}
+
+	i := 0
+	if n := testing.AllocsPerRun(300, func() {
+		p.th.Put(keys[i%len(keys)], word.FromUint(uint64(i)))
+		i++
+	}); n != 0 {
+		t.Errorf("replicated Put(update) allocates %.2f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(300, func() {
+		p.th.Update(keys[i%len(keys)], word.FromUint(uint64(i)))
+		i++
+	}); n != 0 {
+		t.Errorf("replicated Update allocates %.2f/op, want 0", n)
+	}
+	k := keys[0]
+	cur, _ := p.th.Get(k)
+	if n := testing.AllocsPerRun(300, func() {
+		next := word.FromUint(cur.Uint() + 1)
+		if p.th.CompareAndSwap(k, cur, next) {
+			cur = next
+		}
+	}); n != 0 {
+		t.Errorf("replicated CAS allocates %.2f/op, want 0", n)
+	}
+	waitCaughtUp(t, p, r)
+	requireEqualMaps(t, contents(t, r.Map()), contents(t, p.m), "after alloc runs")
+}

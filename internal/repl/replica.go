@@ -1,0 +1,645 @@
+// The replica side. A Replica dials the primary's replication
+// listener, bootstraps (PSYNC resume when it has a trustworthy cursor,
+// SYNC snapshot otherwise) and then applies the record stream through
+// the map's idempotent apply path on a single goroutine, acknowledging
+// progress and checkpointing its cursor. The loop reconnects with
+// backoff until Close.
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spectm/internal/proto"
+	"spectm/internal/shardmap"
+	"spectm/internal/wal"
+)
+
+// ReplicaOption configures a Replica.
+type ReplicaOption func(*repConfig)
+
+type repConfig struct {
+	checkpointBytes uint64
+	ackBytes        uint64
+	readTimeout     time.Duration
+	retryMin        time.Duration
+	retryMax        time.Duration
+	noCursor        bool
+}
+
+// WithCheckpointBytes sets how many applied bytes may pass between
+// cursor checkpoints (default 1 MiB). Smaller values tighten the
+// restart resume window at the cost of more local fsyncs.
+func WithCheckpointBytes(n uint64) ReplicaOption {
+	return func(c *repConfig) {
+		if n > 0 {
+			c.checkpointBytes = n
+		}
+	}
+}
+
+// WithoutCursor disables cursor persistence even on a locally
+// persistent map: every restart full-syncs.
+func WithoutCursor() ReplicaOption {
+	return func(c *repConfig) { c.noCursor = true }
+}
+
+// WithReadTimeout bounds how long the replica waits for any primary
+// message before declaring the link dead (default 15s; the primary
+// heartbeats every second when idle).
+func WithReadTimeout(d time.Duration) ReplicaOption {
+	return func(c *repConfig) {
+		if d > 0 {
+			c.readTimeout = d
+		}
+	}
+}
+
+// WithRetry sets the reconnect backoff bounds (defaults 100ms..2s).
+func WithRetry(min, max time.Duration) ReplicaOption {
+	return func(c *repConfig) {
+		if min > 0 {
+			c.retryMin = min
+		}
+		if max >= min && max > 0 {
+			c.retryMax = max
+		}
+	}
+}
+
+// Replica tails one primary into a local map.
+type Replica struct {
+	m    *shardmap.Map
+	th   *shardmap.Thread
+	addr string
+	cfg  repConfig
+	dir  string // cursor directory ("" = no checkpoints)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cur     cursorFile // stream cursor; Recs/Bytes are the absolute applied position
+	have    bool       // cur is valid (resume possible)
+	synced  bool       // a handshake completed in this process: cur.Recs is in the live primary's coordinates
+	nc      net.Conn   // live connection, for Close to interrupt
+	closing bool
+
+	state     atomic.Int32 // stateConnecting/stateSyncing/stateApplying
+	primRecs  atomic.Uint64
+	primBytes atomic.Uint64
+	lastMsg   atomic.Int64 // UnixNano of the newest primary message
+	fullSyncs atomic.Uint64
+	done      chan struct{}
+
+	// apply-loop scratch
+	msg      message
+	pending  [][]byte // per-shard partial record reassembly
+	relRecs  uint64   // applied since handshake (ACK coordinates)
+	relBytes uint64
+	unacked  uint64 // bytes applied since the last ACK
+	unsaved  uint64 // bytes applied since the last checkpoint
+
+	// onBatch, when set (tests), runs after every applied BATCH, with
+	// the replica at a record-aligned, internally consistent state.
+	onBatch func()
+}
+
+// Replica states.
+const (
+	stateConnecting = iota
+	stateSyncing
+	stateApplying
+)
+
+// NewReplica builds a replica of the primary at addr over m. When m is
+// persistent, the replication cursor is checkpointed into its data
+// directory — unless local recovery found a damaged tail, in which case
+// the cursor is discarded and the first session full-syncs (records
+// below the cursor may have been lost with the tail). Call Run to
+// start.
+func NewReplica(m *shardmap.Map, addr string, opts ...ReplicaOption) *Replica {
+	cfg := repConfig{
+		checkpointBytes: defaultCheckpoint,
+		ackBytes:        defaultAckEvery,
+		readTimeout:     15 * time.Second,
+		retryMin:        100 * time.Millisecond,
+		retryMax:        2 * time.Second,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r := &Replica{m: m, th: m.NewThread(), addr: addr, cfg: cfg, done: make(chan struct{})}
+	r.cond = sync.NewCond(&r.mu)
+	if l := m.Log(); l != nil && !cfg.noCursor {
+		r.dir = l.Dir()
+		if m.RecoveryStats().TruncatedFiles > 0 {
+			// The local tail was damaged: records below the cursor may
+			// be gone, so the cursor cannot be trusted.
+			dropCursor(r.dir)
+		} else if c, ok, _ := loadCursor(r.dir); ok {
+			r.cur, r.have = c, true
+		}
+	}
+	return r
+}
+
+// Map returns the map the replica applies into.
+func (r *Replica) Map() *shardmap.Map { return r.m }
+
+// Run drives the connect/stream/reconnect loop until Close. It blocks;
+// start it on its own goroutine.
+func (r *Replica) Run() {
+	defer close(r.done)
+	backoff := r.cfg.retryMin
+	for {
+		r.mu.Lock()
+		closing := r.closing
+		r.mu.Unlock()
+		if closing {
+			break
+		}
+		start := time.Now()
+		if err := r.session(); err == nil {
+			break // closed
+		}
+		if time.Since(start) > 5*time.Second {
+			backoff = r.cfg.retryMin // the link worked for a while; reset
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > r.cfg.retryMax {
+			backoff = r.cfg.retryMax
+		}
+	}
+	r.checkpoint()
+	// Release WAITOFF waiters: applied will never advance again.
+	r.mu.Lock()
+	r.closing = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// Close stops the replica and waits for Run to return (final
+// checkpoint included).
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	r.closing = true
+	if r.nc != nil {
+		r.nc.Close()
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	<-r.done
+	return nil
+}
+
+// errClosed distinguishes a deliberate Close from a broken link.
+var errClosed = fmt.Errorf("repl: replica closed")
+
+// session runs one connection: dial, handshake, apply until the link
+// breaks. It returns nil only when the replica is closing.
+func (r *Replica) session() error {
+	r.state.Store(stateConnecting)
+	nc, err := net.DialTimeout("tcp", r.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	r.mu.Lock()
+	if r.closing {
+		r.mu.Unlock()
+		nc.Close()
+		return errClosed
+	}
+	r.nc = nc
+	r.mu.Unlock()
+	defer func() {
+		nc.Close()
+		r.mu.Lock()
+		r.nc = nil
+		r.mu.Unlock()
+	}()
+
+	rd := proto.NewReader(nc)
+	wr := proto.NewWriter(nc)
+	// Push pending ACKs out whenever the reader is about to block —
+	// the same flush-on-would-block discipline the server uses.
+	rd.OnFill = wr.Flush
+
+	// Handshake.
+	h := hello{}
+	r.mu.Lock()
+	if r.have {
+		h = hello{psync: true, gen: r.cur.Gen, offs: append([]int64(nil), r.cur.Offs...)}
+	}
+	r.mu.Unlock()
+	sendHello(wr, h)
+	if err := wr.Flush(); err != nil {
+		return err
+	}
+
+	nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	args, err := rd.Next()
+	if err != nil {
+		return err
+	}
+	if err := parseMessage(args, &r.msg); err != nil {
+		return err
+	}
+	switch r.msg.kind {
+	case 'F':
+		if err := r.fullSync(nc, rd, &r.msg); err != nil {
+			return err
+		}
+	case 'C':
+		if err := r.resume(&r.msg); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: expected FULL or CONT, got %q", ErrWire, r.msg.kind)
+	}
+
+	// Stream.
+	r.state.Store(stateApplying)
+	r.relRecs, r.relBytes, r.unacked, r.unsaved = 0, 0, 0, 0
+	for {
+		nc.SetReadDeadline(time.Now().Add(r.cfg.readTimeout))
+		args, err := rd.Next()
+		if err != nil {
+			r.mu.Lock()
+			closing := r.closing
+			r.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return err
+		}
+		if err := parseMessage(args, &r.msg); err != nil {
+			return err
+		}
+		r.lastMsg.Store(time.Now().UnixNano())
+		switch r.msg.kind {
+		case 'B':
+			if err := r.applyBatch(&r.msg, wr); err != nil {
+				return err
+			}
+			if r.onBatch != nil {
+				r.onBatch()
+			}
+		case 'R':
+			if err := r.rotate(&r.msg); err != nil {
+				return err
+			}
+		case 'P':
+			r.primRecs.Store(r.msg.recs)
+			r.primBytes.Store(r.msg.bytes)
+			// An idle stream is a caught-up stream: let the primary
+			// know where we are (and keep its last-ack age fresh).
+			r.sendAck(wr)
+		default:
+			return fmt.Errorf("%w: unexpected mid-stream message %q", ErrWire, r.msg.kind)
+		}
+	}
+}
+
+// resume validates the primary's CONT against our cursor and adopts its
+// base as the absolute position.
+func (r *Replica) resume(m *message) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.have || m.gen != r.cur.Gen || len(m.offs) != len(r.cur.Offs) {
+		return fmt.Errorf("%w: CONT does not match the offered cursor", ErrWire)
+	}
+	for i, off := range m.offs {
+		if off != r.cur.Offs[i] {
+			return fmt.Errorf("%w: CONT shard %d offset %d, cursor says %d", ErrWire, i, off, r.cur.Offs[i])
+		}
+	}
+	// Absolute positions are primary-process-local: adopt the base the
+	// primary computed for our cursor.
+	r.cur.Recs, r.cur.Bytes = m.baseRecs, m.baseBytes
+	r.synced = true
+	r.resizePendingLocked(len(m.offs))
+	r.cond.Broadcast()
+	return nil
+}
+
+// fullSync bootstraps from a snapshot stream, then sweeps keys the
+// snapshot did not contain (a re-bootstrapped replica may hold state
+// the primary has since lost or deleted).
+func (r *Replica) fullSync(nc net.Conn, rd *proto.Reader, m *message) error {
+	r.state.Store(stateSyncing)
+	r.fullSyncs.Add(1)
+	if r.dir != "" {
+		// A crash between here and the next checkpoint must resync.
+		dropCursor(r.dir)
+	}
+	r.mu.Lock()
+	r.have = false
+	r.cur = cursorFile{
+		Gen:   m.gen,
+		Offs:  append(r.cur.Offs[:0], m.offs...),
+		Recs:  m.baseRecs,
+		Bytes: m.baseBytes,
+	}
+	r.resizePendingLocked(len(m.offs))
+	r.mu.Unlock()
+
+	keep := make(map[string]struct{}, 1024)
+	sr := &snapFrameReader{nc: nc, rd: rd, msg: &r.msg, timeout: r.cfg.readTimeout}
+	_, err := wal.ReadSnapshot(sr, func(k []byte, v uint64) error {
+		if err := r.th.Apply(wal.Record{Op: wal.OpPut, Key: k, Val: v}); err != nil {
+			return err
+		}
+		keep[string(k)] = struct{}{}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// The snapshot decoder stops exactly at the trailer, so the SNAPEND
+	// frame may still be on the wire; drain it (unless a read-ahead
+	// already did).
+	if !sr.done {
+		nc.SetReadDeadline(time.Now().Add(r.cfg.readTimeout))
+		args, err := rd.Next()
+		if err != nil {
+			return err
+		}
+		if err := parseMessage(args, &r.msg); err != nil {
+			return err
+		}
+		if r.msg.kind != 'E' {
+			return fmt.Errorf("%w: expected SNAPEND, got %q", ErrWire, r.msg.kind)
+		}
+	}
+
+	// Sweep: collect stale keys first (Range holds shard locks), then
+	// delete them.
+	var stale []string
+	r.th.Range(func(key string, _ shardmap.Value) bool {
+		if _, ok := keep[key]; !ok {
+			stale = append(stale, key)
+		}
+		return true
+	})
+	for _, k := range stale {
+		r.th.Delete(k)
+	}
+
+	r.mu.Lock()
+	r.have = true
+	r.synced = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return nil
+}
+
+// snapFrameReader adapts SNAP frames into the io.Reader the snapshot
+// decoder wants, stopping cleanly at SNAPEND.
+type snapFrameReader struct {
+	nc      net.Conn
+	rd      *proto.Reader
+	msg     *message
+	timeout time.Duration
+	stash   []byte
+	done    bool
+}
+
+func (s *snapFrameReader) Read(p []byte) (int, error) {
+	for len(s.stash) == 0 {
+		if s.done {
+			return 0, io.EOF
+		}
+		s.nc.SetReadDeadline(time.Now().Add(s.timeout))
+		args, err := s.rd.Next()
+		if err != nil {
+			return 0, err
+		}
+		if err := parseMessage(args, s.msg); err != nil {
+			return 0, err
+		}
+		switch s.msg.kind {
+		case 'S':
+			s.stash = append(s.stash[:0], s.msg.payload...)
+		case 'E':
+			s.done = true
+			return 0, io.EOF
+		default:
+			return 0, fmt.Errorf("%w: unexpected message %q inside snapshot", ErrWire, s.msg.kind)
+		}
+	}
+	n := copy(p, s.stash)
+	s.stash = s.stash[n:]
+	return n, nil
+}
+
+// applyBatch reassembles one shard's byte range, applies every whole
+// record, and advances the cursor to the applied (record-aligned)
+// boundary.
+func (r *Replica) applyBatch(m *message, wr *proto.Writer) error {
+	r.mu.Lock()
+	nshards := len(r.cur.Offs)
+	if m.shard >= nshards {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: batch for shard %d of %d", ErrWire, m.shard, nshards)
+	}
+	if m.gen != r.cur.Gen {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: batch generation %d, cursor at %d", ErrWire, m.gen, r.cur.Gen)
+	}
+	expect := r.cur.Offs[m.shard] + int64(len(r.pending[m.shard]))
+	r.mu.Unlock()
+	if m.off != expect {
+		return fmt.Errorf("%w: batch offset %d, expected %d (gap or replay)", ErrWire, m.off, expect)
+	}
+
+	buf := append(r.pending[m.shard], m.payload...)
+	consumed, applied := 0, 0
+	for {
+		rec, n, err := wal.DecodeRecord(buf[consumed:])
+		if err != nil {
+			if errors.Is(err, wal.ErrCorrupt) {
+				return fmt.Errorf("repl: corrupt record in stream: %w", err)
+			}
+			break // short: the tail continues in the next batch
+		}
+		if err := r.th.Apply(rec); err != nil {
+			return err
+		}
+		consumed += n
+		applied++
+	}
+	r.pending[m.shard] = append(buf[:0], buf[consumed:]...)
+
+	r.mu.Lock()
+	r.cur.Offs[m.shard] += int64(consumed)
+	r.cur.Recs += uint64(applied)
+	r.cur.Bytes += uint64(consumed)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+
+	r.relRecs += uint64(applied)
+	r.relBytes += uint64(consumed)
+	r.unacked += uint64(consumed)
+	r.unsaved += uint64(consumed)
+	if r.unacked >= r.cfg.ackBytes {
+		r.sendAck(wr)
+	}
+	if r.unsaved >= r.cfg.checkpointBytes {
+		r.checkpoint()
+		r.unsaved = 0
+	}
+	return nil
+}
+
+// rotate switches the cursor to the next generation. Every pending
+// partial record must have completed: generations end on record
+// boundaries.
+func (r *Replica) rotate(m *message) error {
+	for i, p := range r.pending {
+		if len(p) != 0 {
+			return fmt.Errorf("%w: rotation with %d unframed bytes on shard %d", ErrWire, len(p), i)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.gen != r.cur.Gen+1 {
+		return fmt.Errorf("%w: rotation to %d from %d", ErrWire, m.gen, r.cur.Gen)
+	}
+	r.cur.Gen = m.gen
+	for i := range r.cur.Offs {
+		r.cur.Offs[i] = wal.LogHeaderSize
+	}
+	return nil
+}
+
+// sendAck reports cumulative stream-relative progress. The write lands
+// in the writer's buffer; OnFill flushes it before the next blocking
+// read.
+func (r *Replica) sendAck(wr *proto.Writer) {
+	wr.Array(3)
+	wr.Arg(cmdAck)
+	wr.ArgUint(r.relRecs)
+	wr.ArgUint(r.relBytes)
+	r.unacked = 0
+}
+
+// checkpoint flushes the local write-ahead log and then persists the
+// cursor, in that order: the cursor must never cover records the local
+// disk could lose, so a failed flush keeps the older (safe) cursor.
+func (r *Replica) checkpoint() {
+	if r.dir == "" {
+		return
+	}
+	r.mu.Lock()
+	ok := r.have
+	snap := cursorFile{
+		Gen:   r.cur.Gen,
+		Offs:  append([]int64(nil), r.cur.Offs...),
+		Recs:  r.cur.Recs,
+		Bytes: r.cur.Bytes,
+	}
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	if l := r.m.Log(); l != nil {
+		if err := l.Flush(); err != nil {
+			return
+		}
+	}
+	saveCursor(r.dir, &snap)
+}
+
+// resizePendingLocked sizes the per-shard reassembly buffers and
+// empties them — a new session must never inherit half a record from a
+// dropped link.
+func (r *Replica) resizePendingLocked(n int) {
+	if len(r.pending) != n {
+		r.pending = make([][]byte, n)
+	}
+	for i := range r.pending {
+		r.pending[i] = r.pending[i][:0]
+	}
+}
+
+// WaitApplied blocks until the replica has applied at least pos records
+// of the primary's history (the primary's REPLPOS coordinate), the
+// timeout passes, or the replica closes. It reports whether the
+// position was reached — the read-your-writes gate.
+//
+// Positions are primary-process-local, so the gate answers only once a
+// handshake in this process has put the cursor into the live primary's
+// coordinates: a restarted replica holding a stale persisted position
+// times out instead of waving stale reads through.
+func (r *Replica) WaitApplied(pos uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for !r.synced || !r.have || r.cur.Recs < pos {
+		if r.closing {
+			return false
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		t := time.AfterFunc(remain, r.cond.Broadcast)
+		r.cond.Wait()
+		t.Stop()
+	}
+	return true
+}
+
+// AppliedPos returns the absolute applied position (records).
+func (r *Replica) AppliedPos() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur.Recs
+}
+
+// ReplicaStatus is the replica-side replication snapshot.
+type ReplicaStatus struct {
+	Primary      string
+	State        string // "connecting", "syncing" or "streaming"
+	AppliedRecs  uint64 // absolute position applied
+	AppliedBytes uint64
+	PrimaryRecs  uint64 // last position the primary reported
+	PrimaryBytes uint64
+	LagRecs      uint64
+	FullSyncs    uint64
+	LastMsgAge   time.Duration
+}
+
+// Status reports the link state and applied position.
+func (r *Replica) Status() ReplicaStatus {
+	st := ReplicaStatus{
+		Primary:     r.addr,
+		PrimaryRecs: r.primRecs.Load(), PrimaryBytes: r.primBytes.Load(),
+		FullSyncs: r.fullSyncs.Load(),
+	}
+	switch r.state.Load() {
+	case stateSyncing:
+		st.State = "syncing"
+	case stateApplying:
+		st.State = "streaming"
+	default:
+		st.State = "connecting"
+	}
+	r.mu.Lock()
+	st.AppliedRecs, st.AppliedBytes = r.cur.Recs, r.cur.Bytes
+	r.mu.Unlock()
+	if st.PrimaryRecs > st.AppliedRecs {
+		st.LagRecs = st.PrimaryRecs - st.AppliedRecs
+	}
+	if t := r.lastMsg.Load(); t > 0 {
+		st.LastMsgAge = time.Since(time.Unix(0, t))
+	}
+	return st
+}

@@ -1,0 +1,309 @@
+// Wire codec: the replication stream rides the internal/proto command
+// framing, so both ends reuse the server's zero-copy Reader/Writer. The
+// helpers here are pure functions over argument vectors and payloads —
+// the fuzzable surface of the protocol.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"spectm/internal/proto"
+	"spectm/internal/wal"
+)
+
+// ErrWire reports a malformed replication message. The stream is
+// unsynchronized after it and the connection must drop.
+var ErrWire = errors.New("repl: protocol error")
+
+// parseUint parses a decimal bulk argument.
+func parseUint(b []byte) (uint64, error) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, fmt.Errorf("%w: bad integer %q", ErrWire, b)
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("%w: bad integer %q", ErrWire, b)
+		}
+		d := uint64(c - '0')
+		if n > (^uint64(0)-d)/10 {
+			return 0, fmt.Errorf("%w: integer %q overflows", ErrWire, b)
+		}
+		n = n*10 + d
+	}
+	return n, nil
+}
+
+// parseCount parses a small decimal argument bounded by max.
+func parseCount(b []byte, max int) (int, error) {
+	n, err := parseUint(b)
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(max) {
+		return 0, fmt.Errorf("%w: count %d exceeds %d", ErrWire, n, max)
+	}
+	return int(n), nil
+}
+
+// appendOffs encodes a per-shard offset vector as the cursor blob:
+// len(offs) uvarints.
+func appendOffs(dst []byte, offs []int64) []byte {
+	for _, off := range offs {
+		dst = binary.AppendUvarint(dst, uint64(off))
+	}
+	return dst
+}
+
+// parseOffs decodes a cursor blob of exactly nshards offsets into dst
+// (reused). Every offset must cover at least the log file header and
+// fit an int64.
+func parseOffs(dst []int64, blob []byte, nshards int) ([]int64, error) {
+	dst = dst[:0]
+	for i := 0; i < nshards; i++ {
+		v, n := binary.Uvarint(blob)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: cursor blob truncated at shard %d", ErrWire, i)
+		}
+		if v < wal.LogHeaderSize || v > 1<<62 {
+			return nil, fmt.Errorf("%w: cursor offset %d out of range", ErrWire, v)
+		}
+		dst = append(dst, int64(v))
+		blob = blob[n:]
+	}
+	if len(blob) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing cursor blob bytes", ErrWire, len(blob))
+	}
+	return dst, nil
+}
+
+// hello is a parsed replica handshake.
+type hello struct {
+	psync bool
+	gen   uint64
+	offs  []int64 // nil for SYNC
+}
+
+// parseHello decodes the replica's first command: SYNC or
+// "PSYNC gen nshards blob".
+func parseHello(args [][]byte) (hello, error) {
+	if len(args) == 0 {
+		return hello{}, fmt.Errorf("%w: empty handshake", ErrWire)
+	}
+	switch {
+	case proto.CmdEq(args[0], cmdSync):
+		if len(args) != 1 {
+			return hello{}, fmt.Errorf("%w: SYNC takes no arguments", ErrWire)
+		}
+		return hello{}, nil
+	case proto.CmdEq(args[0], cmdPSync):
+		if len(args) != 4 {
+			return hello{}, fmt.Errorf("%w: PSYNC wants gen, nshards, blob", ErrWire)
+		}
+		gen, err := parseUint(args[1])
+		if err != nil {
+			return hello{}, err
+		}
+		if gen == 0 {
+			return hello{}, fmt.Errorf("%w: PSYNC generation 0", ErrWire)
+		}
+		nshards, err := parseCount(args[2], MaxShards)
+		if err != nil {
+			return hello{}, err
+		}
+		if nshards == 0 {
+			return hello{}, fmt.Errorf("%w: PSYNC with 0 shards", ErrWire)
+		}
+		offs, err := parseOffs(nil, args[3], nshards)
+		if err != nil {
+			return hello{}, err
+		}
+		return hello{psync: true, gen: gen, offs: offs}, nil
+	default:
+		return hello{}, fmt.Errorf("%w: unexpected handshake command %q", ErrWire, args[0])
+	}
+}
+
+// sendHello writes the replica's handshake.
+func sendHello(w *proto.Writer, h hello) {
+	if !h.psync {
+		w.Array(1)
+		w.Arg(cmdSync)
+		return
+	}
+	blob := appendOffs(nil, h.offs)
+	w.Array(4)
+	w.Arg(cmdPSync)
+	w.ArgUint(h.gen)
+	w.ArgUint(uint64(len(h.offs)))
+	w.ArgBytes(blob)
+}
+
+// parseAck decodes "ACK recs bytes" (cumulative, stream-relative).
+func parseAck(args [][]byte) (recs, bytes uint64, err error) {
+	if len(args) != 3 || !proto.CmdEq(args[0], cmdAck) {
+		return 0, 0, fmt.Errorf("%w: expected ACK", ErrWire)
+	}
+	if recs, err = parseUint(args[1]); err != nil {
+		return 0, 0, err
+	}
+	if bytes, err = parseUint(args[2]); err != nil {
+		return 0, 0, err
+	}
+	return recs, bytes, nil
+}
+
+// message is one parsed primary→replica stream message.
+type message struct {
+	kind byte // 'F', 'C', 'S', 'E', 'B', 'R', 'P'
+	gen  uint64
+
+	// FULL / CONT
+	offs      []int64 // reused across calls
+	baseRecs  uint64
+	baseBytes uint64
+
+	// SNAP / BATCH
+	payload []byte // aliases the reader's buffer
+	shard   int
+	off     int64
+
+	// PING
+	recs  uint64
+	bytes uint64
+}
+
+// parseMessage decodes one primary→replica message into m, reusing
+// m.offs. m.payload aliases args and is valid only until the reader's
+// next frame.
+func parseMessage(args [][]byte, m *message) error {
+	if len(args) == 0 {
+		return fmt.Errorf("%w: empty message", ErrWire)
+	}
+	switch {
+	case proto.CmdEq(args[0], cmdFull), proto.CmdEq(args[0], cmdCont):
+		m.kind = 'F'
+		if proto.CmdEq(args[0], cmdCont) {
+			m.kind = 'C'
+		}
+		if len(args) != 6 {
+			return fmt.Errorf("%w: %s wants gen, nshards, recs, bytes, blob", ErrWire, args[0])
+		}
+		gen, err := parseUint(args[1])
+		if err != nil {
+			return err
+		}
+		if gen == 0 {
+			return fmt.Errorf("%w: generation 0", ErrWire)
+		}
+		nshards, err := parseCount(args[2], MaxShards)
+		if err != nil {
+			return err
+		}
+		if nshards == 0 {
+			return fmt.Errorf("%w: 0 shards", ErrWire)
+		}
+		if m.baseRecs, err = parseUint(args[3]); err != nil {
+			return err
+		}
+		if m.baseBytes, err = parseUint(args[4]); err != nil {
+			return err
+		}
+		if m.offs, err = parseOffs(m.offs, args[5], nshards); err != nil {
+			return err
+		}
+		m.gen = gen
+		return nil
+	case proto.CmdEq(args[0], cmdSnap):
+		m.kind = 'S'
+		if len(args) != 2 {
+			return fmt.Errorf("%w: SNAP wants one payload", ErrWire)
+		}
+		m.payload = args[1]
+		return nil
+	case proto.CmdEq(args[0], cmdSnapEnd):
+		m.kind = 'E'
+		if len(args) != 1 {
+			return fmt.Errorf("%w: SNAPEND takes no arguments", ErrWire)
+		}
+		return nil
+	case proto.CmdEq(args[0], cmdBatch):
+		m.kind = 'B'
+		if len(args) != 5 {
+			return fmt.Errorf("%w: BATCH wants shard, gen, off, payload", ErrWire)
+		}
+		shard, err := parseCount(args[1], MaxShards-1)
+		if err != nil {
+			return err
+		}
+		if m.gen, err = parseUint(args[2]); err != nil {
+			return err
+		}
+		if m.gen == 0 {
+			return fmt.Errorf("%w: generation 0", ErrWire)
+		}
+		off, err := parseUint(args[3])
+		if err != nil {
+			return err
+		}
+		if off < wal.LogHeaderSize || off > 1<<62 {
+			return fmt.Errorf("%w: batch offset %d out of range", ErrWire, off)
+		}
+		if len(args[4]) == 0 {
+			return fmt.Errorf("%w: empty batch", ErrWire)
+		}
+		m.shard, m.off, m.payload = shard, int64(off), args[4]
+		return nil
+	case proto.CmdEq(args[0], cmdRotate):
+		m.kind = 'R'
+		if len(args) != 2 {
+			return fmt.Errorf("%w: ROTATE wants a generation", ErrWire)
+		}
+		gen, err := parseUint(args[1])
+		if err != nil {
+			return err
+		}
+		if gen == 0 {
+			return fmt.Errorf("%w: generation 0", ErrWire)
+		}
+		m.gen = gen
+		return nil
+	case proto.CmdEq(args[0], cmdPing):
+		m.kind = 'P'
+		if len(args) != 3 {
+			return fmt.Errorf("%w: PING wants recs, bytes", ErrWire)
+		}
+		var err error
+		if m.recs, err = parseUint(args[1]); err != nil {
+			return err
+		}
+		if m.bytes, err = parseUint(args[2]); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown message %q", ErrWire, args[0])
+	}
+}
+
+// splitRecords finds the longest prefix of p that is whole record
+// frames, returning its byte length and record count. A frame whose
+// header is implausible (zero or oversized body) reports ErrCorrupt:
+// on the sender that means the local file is damaged, on the replica a
+// broken stream.
+func splitRecords(p []byte) (n, recs int, err error) {
+	for len(p)-n >= 8 {
+		bodyLen := binary.LittleEndian.Uint32(p[n+4:])
+		if bodyLen == 0 || bodyLen > wal.MaxBody {
+			return n, recs, fmt.Errorf("%w: body length %d", wal.ErrCorrupt, bodyLen)
+		}
+		end := n + 8 + int(bodyLen)
+		if end > len(p) {
+			break
+		}
+		n, recs = end, recs+1
+	}
+	return n, recs, nil
+}

@@ -53,24 +53,6 @@ func bstr(b []byte) string {
 	return unsafe.String(unsafe.SliceData(b), len(b))
 }
 
-// cmdEq reports whether b equals the upper-case command name,
-// ASCII-case-insensitively.
-func cmdEq(b []byte, upper string) bool {
-	if len(b) != len(upper) {
-		return false
-	}
-	for i := 0; i < len(b); i++ {
-		c := b[i]
-		if c >= 'a' && c <= 'z' {
-			c -= 'a' - 'A'
-		}
-		if c != upper[i] {
-			return false
-		}
-	}
-	return true
-}
-
 // parseVal decodes a decimal payload argument.
 func parseVal(b []byte) (word.Value, bool) {
 	u, err := strconv.ParseUint(bstr(b), 10, 64)
@@ -121,10 +103,19 @@ func (s *Server) serveConn(nc net.Conn) {
 	}
 }
 
+// writable refuses mutating commands on a replica.
+func (c *conn) writable() bool {
+	if c.s.rep == nil {
+		return true
+	}
+	c.wr.Error("READONLY replica; send writes to the primary")
+	return false
+}
+
 func (c *conn) execute(args [][]byte) {
 	cmd, args := args[0], args[1:]
 	switch {
-	case cmdEq(cmd, "GET"):
+	case proto.CmdEq(cmd, "GET"):
 		if len(args) != 1 {
 			c.wr.Error("ERR wrong number of arguments for 'GET'")
 			return
@@ -134,9 +125,12 @@ func (c *conn) execute(args [][]byte) {
 		} else {
 			c.wr.Null()
 		}
-	case cmdEq(cmd, "SET"):
+	case proto.CmdEq(cmd, "SET"):
 		if len(args) != 2 {
 			c.wr.Error("ERR wrong number of arguments for 'SET'")
+			return
+		}
+		if !c.writable() {
 			return
 		}
 		v, ok := parseVal(args[1])
@@ -152,15 +146,21 @@ func (c *conn) execute(args [][]byte) {
 			c.th.Put(strings.Clone(bstr(args[0])), v)
 		}
 		c.wr.SimpleString("OK")
-	case cmdEq(cmd, "DEL"):
+	case proto.CmdEq(cmd, "DEL"):
 		if len(args) != 1 {
 			c.wr.Error("ERR wrong number of arguments for 'DEL'")
 			return
 		}
+		if !c.writable() {
+			return
+		}
 		c.boolReply(c.th.Delete(bstr(args[0])))
-	case cmdEq(cmd, "CAS"):
+	case proto.CmdEq(cmd, "CAS"):
 		if len(args) != 3 {
 			c.wr.Error("ERR wrong number of arguments for 'CAS'")
+			return
+		}
+		if !c.writable() {
 			return
 		}
 		old, ok1 := parseVal(args[1])
@@ -170,32 +170,44 @@ func (c *conn) execute(args [][]byte) {
 			return
 		}
 		c.boolReply(c.th.CompareAndSwap(bstr(args[0]), old, new))
-	case cmdEq(cmd, "SWAP2"):
+	case proto.CmdEq(cmd, "SWAP2"):
 		if len(args) != 2 {
 			c.wr.Error("ERR wrong number of arguments for 'SWAP2'")
 			return
 		}
+		if !c.writable() {
+			return
+		}
 		c.boolReply(c.th.Swap2(bstr(args[0]), bstr(args[1])))
-	case cmdEq(cmd, "MGET"):
+	case proto.CmdEq(cmd, "MGET"):
 		if len(args) == 0 {
 			c.wr.Error("ERR wrong number of arguments for 'MGET'")
 			return
 		}
 		c.mget(args)
-	case cmdEq(cmd, "BGSAVE"):
+	case proto.CmdEq(cmd, "BGSAVE"):
 		// Rotate + snapshot + prune, synchronously on this connection
 		// (pipelined peers on other connections keep executing; their
 		// appends go to the post-rotation log the snapshot composes
 		// with). Errors — including persistence being disabled — come
 		// back as error replies.
+		if !c.writable() {
+			return
+		}
 		if err := c.s.m.Save(); err != nil {
 			c.wr.Error("ERR bgsave: " + err.Error())
 		} else {
 			c.wr.SimpleString("OK")
 		}
-	case cmdEq(cmd, "STATS"):
+	case proto.CmdEq(cmd, "STATS"):
 		c.statsReply()
-	case cmdEq(cmd, "PING"):
+	case proto.CmdEq(cmd, "REPLSTATUS"):
+		c.replStatusReply()
+	case proto.CmdEq(cmd, "REPLPOS"):
+		c.replPosReply()
+	case proto.CmdEq(cmd, "WAITOFF"):
+		c.waitOff(args)
+	case proto.CmdEq(cmd, "PING"):
 		c.wr.SimpleString("PONG")
 	default:
 		c.wr.Error(fmt.Sprintf("ERR unknown command '%s'", cmd))

@@ -1,0 +1,141 @@
+// Replication wire commands on the data plane:
+//
+//	REPLSTATUS            bulk "name value" lines: role, position, and
+//	                      per-link lag on a primary; link state, applied
+//	                      position and lag on a replica
+//	REPLPOS               integer: the position a WAITOFF on a replica
+//	                      must reach to observe every write acknowledged
+//	                      before this command (read-your-writes token)
+//	WAITOFF pos [ms]      block (default 1s, cap 60s) until this replica
+//	                      has applied primary position pos; +OK when
+//	                      reached, -WAITTIMEOUT otherwise
+//
+// Positions are primary-process-local record counts: take them from
+// REPLPOS on the primary, spend them in WAITOFF on a replica. After a
+// primary restart, positions restart too — a stale token can only make
+// WAITOFF return early, never block forever.
+package server
+
+import (
+	"strconv"
+	"time"
+)
+
+func (c *conn) replPosReply() {
+	switch {
+	case c.s.src != nil:
+		c.wr.Uint(c.s.src.Position())
+	case c.s.rep != nil:
+		c.wr.Uint(c.s.rep.AppliedPos())
+	default:
+		c.wr.Error("ERR replication not enabled")
+	}
+}
+
+func (c *conn) waitOff(args [][]byte) {
+	if len(args) < 1 || len(args) > 2 {
+		c.wr.Error("ERR WAITOFF wants a position and an optional timeout in ms")
+		return
+	}
+	pos, err := strconv.ParseUint(bstr(args[0]), 10, 64)
+	if err != nil {
+		c.wr.Error("ERR position is not an unsigned integer")
+		return
+	}
+	timeout := time.Second
+	if len(args) == 2 {
+		ms, err := strconv.ParseUint(bstr(args[1]), 10, 32)
+		if err != nil {
+			c.wr.Error("ERR timeout is not an unsigned integer (milliseconds)")
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+		if timeout > time.Minute {
+			timeout = time.Minute
+		}
+	}
+	switch {
+	case c.s.rep != nil:
+		// Flush queued replies first: WAITOFF parks this connection's
+		// thread, and a pipelined peer may be waiting on them.
+		c.wr.Flush()
+		if c.s.rep.WaitApplied(pos, timeout) {
+			c.wr.SimpleString("OK")
+		} else {
+			c.wr.Error("WAITTIMEOUT replica did not reach position " + strconv.FormatUint(pos, 10))
+		}
+	case c.s.src != nil:
+		// The primary is trivially at its own position.
+		if c.s.src.Position() >= pos {
+			c.wr.SimpleString("OK")
+		} else {
+			c.wr.Error("WAITTIMEOUT position is ahead of this primary")
+		}
+	default:
+		c.wr.Error("ERR replication not enabled")
+	}
+}
+
+func (c *conn) replStatusReply() {
+	s := c.s
+	b := c.stats[:0]
+	line := func(name string, v uint64) {
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, v, 10)
+		b = append(b, '\n')
+	}
+	text := func(name, v string) {
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, v...)
+		b = append(b, '\n')
+	}
+	switch {
+	case s.src != nil:
+		st := s.src.Status()
+		text("role", "primary")
+		line("position_records", st.Position)
+		line("written_records", st.WrittenRecs)
+		line("written_bytes", st.WrittenBytes)
+		line("full_syncs", st.FullSyncs)
+		line("replicas", uint64(len(st.Replicas)))
+		for i, l := range st.Replicas {
+			b = append(b, "replica"...)
+			b = strconv.AppendInt(b, int64(i), 10)
+			b = append(b, " addr="...)
+			b = append(b, l.Addr...)
+			b = append(b, " state="...)
+			b = append(b, l.State...)
+			b = append(b, " sent_bytes="...)
+			b = strconv.AppendUint(b, l.SentBytes, 10)
+			b = append(b, " acked_records="...)
+			b = strconv.AppendUint(b, l.AckedRecs, 10)
+			b = append(b, " acked_bytes="...)
+			b = strconv.AppendUint(b, l.AckedBytes, 10)
+			b = append(b, " lag_records="...)
+			b = strconv.AppendUint(b, l.LagRecs, 10)
+			b = append(b, " lag_bytes="...)
+			b = strconv.AppendUint(b, l.LagBytes, 10)
+			b = append(b, " last_ack_ms="...)
+			b = strconv.AppendInt(b, l.LastAckAge.Milliseconds(), 10)
+			b = append(b, '\n')
+		}
+	case s.rep != nil:
+		st := s.rep.Status()
+		text("role", "replica")
+		text("primary", st.Primary)
+		text("link", st.State)
+		line("applied_records", st.AppliedRecs)
+		line("applied_bytes", st.AppliedBytes)
+		line("primary_records", st.PrimaryRecs)
+		line("primary_bytes", st.PrimaryBytes)
+		line("lag_records", st.LagRecs)
+		line("full_syncs", st.FullSyncs)
+		line("last_message_ms", uint64(max(st.LastMsgAge.Milliseconds(), 0)))
+	default:
+		text("role", "standalone")
+	}
+	c.stats = b
+	c.wr.Bulk(b)
+}

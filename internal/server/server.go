@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"spectm/internal/core"
+	"spectm/internal/repl"
 	"spectm/internal/shardmap"
 	"spectm/internal/wal"
 )
@@ -35,12 +36,14 @@ import (
 type Option func(*config)
 
 type config struct {
-	maxConns int
-	shards   int
-	buckets  int
-	layout   core.Layout
-	dataDir  string
-	fsync    wal.Policy
+	maxConns   int
+	shards     int
+	buckets    int
+	layout     core.Layout
+	dataDir    string
+	fsync      wal.Policy
+	replListen string
+	replicaOf  string
 }
 
 // WithMaxConns bounds concurrently served connections (default 64).
@@ -65,6 +68,25 @@ func WithPersistence(dir string, policy wal.Policy) Option {
 	return func(c *config) { c.dataDir, c.fsync = dir, policy }
 }
 
+// WithReplListen serves WAL-shipping replication on its own listener at
+// addr: replicas connect there, bootstrap from a snapshot (or resume
+// from their cursor) and tail the write-ahead log. Requires
+// WithPersistence — replication ships the WAL.
+func WithReplListen(addr string) Option {
+	return func(c *config) { c.replListen = addr }
+}
+
+// WithReplicaOf makes this server a read-only replica of the primary
+// whose *replication* listener is at addr: mutating commands are
+// refused with -READONLY, the map is continuously rebuilt from the
+// primary's record stream, and WAITOFF gates reads on primary
+// positions. With WithPersistence the replica checkpoints its
+// replication cursor and resumes across restarts instead of
+// re-bootstrapping.
+func WithReplicaOf(addr string) Option {
+	return func(c *config) { c.replicaOf = addr }
+}
+
 // Server is a spectm-server instance: one engine, one sharded map, one
 // listener.
 type Server struct {
@@ -76,7 +98,13 @@ type Server struct {
 	mu      sync.Mutex
 	conns   map[*conn]struct{}
 	closing atomic.Bool
+	started atomic.Bool    // Serve ran (replication goroutines exist)
 	wg      sync.WaitGroup // serveConn goroutines
+
+	// Replication (nil when not configured).
+	src    *repl.Source  // primary side, serving replLn
+	rep    *repl.Replica // replica side, tailing cfg.replicaOf
+	replLn net.Listener
 
 	pool struct {
 		sync.Mutex
@@ -97,8 +125,12 @@ func New(opts ...Option) (*Server, error) {
 	if cfg.maxConns < 1 {
 		return nil, fmt.Errorf("server: max conns %d < 1", cfg.maxConns)
 	}
-	// +3: accept slop plus the persistence thread (recovery + snapshots).
-	e, err := core.NewChecked(core.Config{Layout: cfg.layout, MaxThreads: cfg.maxConns + 3})
+	if cfg.replListen != "" && cfg.dataDir == "" {
+		return nil, errors.New("server: -repl-listen requires -data-dir (replication ships the write-ahead log)")
+	}
+	// +4: accept slop, the persistence thread (recovery + snapshots) and
+	// the replication applier.
+	e, err := core.NewChecked(core.Config{Layout: cfg.layout, MaxThreads: cfg.maxConns + 4})
 	if err != nil {
 		return nil, err
 	}
@@ -118,25 +150,55 @@ func New(opts ...Option) (*Server, error) {
 	} else {
 		m = shardmap.New(e, mopts...)
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		e:     e,
 		m:     m,
 		conns: make(map[*conn]struct{}),
-	}, nil
+	}
+	if cfg.replListen != "" {
+		if s.src, err = repl.NewSource(m); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.replicaOf != "" {
+		s.rep = repl.NewReplica(m, cfg.replicaOf)
+	}
+	return s, nil
 }
+
+// IsReplica reports whether the server refuses writes because it tails
+// a primary.
+func (s *Server) IsReplica() bool { return s.rep != nil }
+
+// Replica exposes the replication client (nil on a primary).
+func (s *Server) Replica() *repl.Replica { return s.rep }
+
+// Source exposes the replication source (nil without WithReplListen).
+func (s *Server) Source() *repl.Source { return s.src }
 
 // Map exposes the backing map (in-process mixing of direct transactions
 // with served traffic, tests, stats).
 func (s *Server) Map() *shardmap.Map { return s.m }
 
-// Listen binds the server to addr (e.g. "127.0.0.1:0").
+// Listen binds the server to addr (e.g. "127.0.0.1:0"), and the
+// replication listener to its configured address when WithReplListen
+// was given.
 func (s *Server) Listen(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	s.ln = ln
+	if s.src != nil {
+		rln, err := net.Listen("tcp", s.cfg.replListen)
+		if err != nil {
+			ln.Close()
+			s.ln = nil
+			return err
+		}
+		s.replLn = rln
+	}
 	return nil
 }
 
@@ -146,6 +208,15 @@ func (s *Server) Addr() net.Addr {
 		return nil
 	}
 	return s.ln.Addr()
+}
+
+// ReplAddr returns the bound replication address (after Listen; nil
+// without WithReplListen).
+func (s *Server) ReplAddr() net.Addr {
+	if s.replLn == nil {
+		return nil
+	}
+	return s.replLn.Addr()
 }
 
 // ErrServerClosed is returned by Serve after a Shutdown.
@@ -158,6 +229,21 @@ func (s *Server) Serve() error {
 	if s.ln == nil {
 		return fmt.Errorf("server: Serve before Listen")
 	}
+	// The spawn and Shutdown's started check serialize under s.mu: a
+	// Shutdown that already latched closing suppresses the spawn, and a
+	// spawn that won is visible to Shutdown's check — no window where
+	// the replica loop outlives the map it applies into.
+	s.mu.Lock()
+	if !s.closing.Load() {
+		s.started.Store(true)
+		if s.src != nil {
+			go s.src.Serve(s.replLn)
+		}
+		if s.rep != nil {
+			go s.rep.Run()
+		}
+	}
+	s.mu.Unlock()
 	backoff := 5 * time.Millisecond
 	for {
 		nc, err := s.ln.Accept()
@@ -215,6 +301,23 @@ func (s *Server) Shutdown() error {
 	}
 	if s.ln != nil {
 		s.ln.Close()
+	}
+	// Stop replication before the map closes: the source drops its
+	// replica links, the replica applier checkpoints its cursor behind a
+	// final local flush. The mutex section orders this against Serve's
+	// spawn (see there); rep.Close must only run when Run exists, since
+	// it waits for Run to exit.
+	s.mu.Lock()
+	started := s.started.Load()
+	s.mu.Unlock()
+	if s.replLn != nil {
+		s.replLn.Close()
+	}
+	if s.src != nil {
+		s.src.Close()
+	}
+	if s.rep != nil && started {
+		s.rep.Close()
 	}
 	s.mu.Lock()
 	for c := range s.conns {

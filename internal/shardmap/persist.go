@@ -27,7 +27,6 @@ import (
 
 	"spectm/internal/core"
 	"spectm/internal/wal"
-	"spectm/internal/word"
 )
 
 // WithPersistence makes the map durable: mutations append typed records
@@ -72,10 +71,11 @@ var ErrNoPersistence = errors.New("shardmap: map has no persistence directory")
 func (m *Map) openPersistence(cfg config) error {
 	th := m.NewThread()
 	m.persistThr = th
-	st, err := wal.Replay(cfg.dir, func(r wal.Record) error { return applyRecord(th, r) })
+	st, err := wal.Replay(cfg.dir, th.Apply)
 	if err != nil {
 		return fmt.Errorf("shardmap: recovering %s: %w", cfg.dir, err)
 	}
+	m.replay = st
 	th.ops.reset() // replay traffic is not serving traffic
 	l, err := wal.Open(cfg.dir, len(m.shards), wal.Options{
 		Policy:       cfg.policy,
@@ -90,34 +90,14 @@ func (m *Map) openPersistence(cfg config) error {
 	return nil
 }
 
-// applyRecord replays one recovered mutation. Values round-trip as raw
-// words, so a record whose value has the reserved low bits set can only
-// be corruption the CRC missed — refuse it rather than poison the
-// engine.
-func applyRecord(th *Thread, r wal.Record) error {
-	switch r.Op {
-	case wal.OpDelete:
-		th.Delete(string(r.Key))
-		return nil
-	case wal.OpSwap2:
-		if err := applyPut(th, r.Key, r.Val); err != nil {
-			return err
-		}
-		return applyPut(th, r.Key2, r.Val2)
-	case wal.OpPut, wal.OpCAS, wal.OpSwapHalf:
-		return applyPut(th, r.Key, r.Val)
-	default:
-		return fmt.Errorf("%w: unknown record op %d", wal.ErrCorrupt, r.Op)
-	}
-}
+// Log exposes the live write-ahead log (nil without persistence) — the
+// replication source tails its files and subscribes to its frontier.
+func (m *Map) Log() *wal.Log { return m.wal }
 
-func applyPut(th *Thread, key []byte, val uint64) error {
-	if val&3 != 0 {
-		return fmt.Errorf("%w: value %#x has reserved bits set", wal.ErrCorrupt, val)
-	}
-	th.Put(string(key), word.Value(val))
-	return nil
-}
+// RecoveryStats reports what Open's replay found. A replica uses
+// TruncatedFiles to decide whether its persisted replication cursor is
+// still trustworthy after a crash.
+func (m *Map) RecoveryStats() wal.ReplayStats { return m.replay }
 
 // ---- post-commit logging (the wal == nil checks keep the in-memory
 // map free of any persistence cost) ----

@@ -153,7 +153,8 @@ type Map struct {
 	// written once before the map is published, so hot paths read it
 	// without synchronization.
 	wal        *wal.Log
-	saveMu     sync.Mutex // serializes Save/Snapshot and guards persistThr
+	replay     wal.ReplayStats // what Open's recovery found
+	saveMu     sync.Mutex      // serializes Save/Snapshot and guards persistThr
 	persistThr *Thread
 	saveErr    atomic.Value // savedErr: outcome of the last auto-compaction
 }

@@ -149,6 +149,13 @@ type Log struct {
 	unsynced   atomic.Int64 // records written but not yet fsynced
 	compacting atomic.Bool
 
+	// Written frontier + subscriptions (see subscribe.go). Updated only
+	// by the syncer, after the file writes it describes.
+	curMu sync.Mutex
+	cur   Cursor
+	subs  []*Sub
+	wrote []int64 // per-shard bytes of the batch in flight (syncer scratch)
+
 	kick     chan struct{}
 	flushReq chan chan error
 	rotReq   chan chan rotResult
@@ -238,6 +245,8 @@ func Open(dir string, shards int, opts Options) (*Log, error) {
 	}
 	l.syncCond = sync.NewCond(&l.syncMu)
 	l.gen.Store(opts.StartGen)
+	l.initCursor(opts.StartGen)
+	l.wrote = make([]int64, shards)
 	for i := range l.shards {
 		f, err := createLogFile(dir, opts.StartGen, i)
 		if err != nil {
@@ -438,6 +447,7 @@ func (l *Log) gatherWrite(force bool, lastSync *time.Time) {
 		testHookBatchSeq()
 	}
 	wrote := 0
+	clear(l.wrote)
 	for i := range l.shards {
 		s := &l.shards[i]
 		s.mu.Lock()
@@ -456,8 +466,15 @@ func (l *Log) gatherWrite(force bool, lastSync *time.Time) {
 			return
 		}
 		l.size.Add(int64(len(b)))
+		l.wrote[i] = int64(len(b))
 		s.spare = b[:0]
 		wrote += n
+	}
+	if wrote > 0 {
+		// Publish the frontier as soon as the bytes are readable from
+		// the files — replication ships written records; fsync below
+		// only decides the primary's own durability.
+		l.advanceCursor(l.wrote, wrote)
 	}
 	pending := l.unsynced.Add(int64(wrote))
 
@@ -576,6 +593,7 @@ func (l *Log) rotate(lastSync *time.Time) (uint64, error) {
 	}
 	l.gen.Store(newGen)
 	l.size.Store(int64(len(l.shards)) * logHeaderSize)
+	l.rotateCursor(newGen)
 	var firstErr error
 	for _, old := range olds {
 		if err := old.Close(); err != nil && firstErr == nil {
