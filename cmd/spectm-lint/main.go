@@ -1,0 +1,116 @@
+// Command spectm-lint runs the spectm static-invariant suite: txnescape,
+// txnpath, noalloc, atomicdiscipline and walorder (see DESIGN.md,
+// "Static invariants").
+//
+// It runs three ways:
+//
+//	spectm-lint ./...                     standalone over package patterns
+//	go vet -vettool=$(which spectm-lint)  as a vet tool (unit-checker protocol)
+//	spectm-lint -record ./src/...         record mode: print findings + counts, exit 0
+//
+// Standalone and vet mode exit nonzero when any diagnostic survives the
+// //lint:ignore suppressions. Record mode is for the CI self-check: it
+// runs the suite over its own fixture tree, where findings are the
+// expected output, and reports per-analyzer totals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"spectm/internal/analysis"
+	"spectm/internal/analysis/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	suite := analyzers.All()
+
+	// cmd/go probes the tool with -V=full before anything else and uses
+	// the reply as its cache key.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		analysis.PrintVersion(os.Stdout)
+		return 0
+	}
+	// cmd/go also asks which vet flags the tool supports; the reply is a
+	// JSON array of flag descriptions. The suite takes none.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+
+	fs := flag.NewFlagSet("spectm-lint", flag.ExitOnError)
+	record := fs.Bool("record", false, "print all diagnostics and per-analyzer counts; always exit 0")
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: spectm-lint [-record] [package pattern ...]\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(which spectm-lint) ./...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-17s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+
+	// Under `go vet -vettool=`, the single argument is a *.cfg file
+	// describing one package unit.
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		return analysis.UnitCheck(patterns[0], suite, os.Stderr)
+	}
+
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spectm-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spectm-lint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(suite, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spectm-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if *record {
+		counts := map[string]int{}
+		for _, d := range diags {
+			counts[d.Analyzer]++
+		}
+		names := make([]string, 0, len(counts))
+		for n := range counts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("spectm-lint: %d diagnostics across %d packages\n", len(diags), len(pkgs))
+		for _, n := range names {
+			fmt.Printf("  %-17s %d\n", n, counts[n])
+		}
+		return 0
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,185 @@
+// Package analysis is a dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that spectm's custom linters
+// need. The build environment deliberately carries no third-party
+// modules, so the framework is grown from the standard library alone:
+// packages load through `go list -export` (gc export data for
+// dependencies, source + go/types for the packages under analysis), and
+// cmd/spectm-lint speaks the `go vet -vettool=` unitchecker protocol by
+// hand.
+//
+// The shape mirrors x/tools on purpose — an Analyzer has a Name, Doc
+// and Run(*Pass); a Pass hands the analyzer one type-checked package
+// and collects Diagnostics — so the analyzers would port to the real
+// framework mechanically if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single package via its
+// Pass and reports findings with Pass.Report*.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //lint:ignore
+	Doc  string // one-paragraph description, shown by -help
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Run applies every analyzer to every package, applies //lint:ignore
+// suppressions, and returns the surviving diagnostics sorted by
+// position. Analyzer errors (not findings) are returned as err.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var raw []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range raw {
+				if !sup.suppressed(a.Name, d.Pos) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ---- //lint:ignore suppression ----
+
+// ignoreRe matches the staticcheck-style suppression directive:
+//
+//	//lint:ignore analyzer1,analyzer2 justification
+//
+// The justification is mandatory; a bare ignore is itself a finding (it
+// would silently rot). The directive suppresses matching diagnostics on
+// its own line and on the line directly below it.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+(\S.*)$`)
+
+type suppressions struct {
+	// byFileLine maps file → line → analyzer names suppressed there.
+	byFileLine map[string]map[int][]string
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byFileLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byFileLine[pos.Filename] = lines
+				}
+				names := strings.Split(m[1], ",")
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	for _, name := range s.byFileLine[pos.Filename][pos.Line] {
+		if name == analyzer || name == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- directives ----
+
+// FuncDirectives returns the //spectm:* directives attached to decl's
+// doc comment (e.g. "noalloc", "coldpath").
+func FuncDirectives(decl *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if decl.Doc == nil {
+		return out
+	}
+	for _, c := range decl.Doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//spectm:"); ok {
+			out[strings.TrimSpace(rest)] = true
+		}
+	}
+	return out
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. The spectm invariants are production-code contracts; tests
+// exercise deliberate misuse and are exempt.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,141 @@
+// Package analysistest runs spectm analyzers over fixture packages and
+// checks their diagnostics against `// want "regex"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under internal/analysis/testdata/src/<name>/…. The
+// testdata directory is invisible to `go build ./...` wildcards, but
+// the packages inside it are ordinary module packages when named by
+// explicit path, so they may import the real spectm/internal/core and
+// are type-checked against the real descriptor types — no stubs.
+//
+// Expectation grammar, one per offending line:
+//
+//	d.Commit(v) // want "missing Commit/Abort"
+//	x() // want "first regex" "second regex"
+//
+// Every want must be matched by a diagnostic on its line, and every
+// diagnostic must be claimed by a want. //lint:ignore directives in
+// fixtures are honored, so suppression behavior is testable too.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spectm/internal/analysis"
+)
+
+// wantRe captures the remainder of a `// want …` comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads ./src/<pattern> under dir for each pattern, applies the
+// analyzer, and diffs diagnostics against want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rel []string
+	for _, p := range patterns {
+		rel = append(rel, "./src/"+p)
+	}
+	pkgs, err := analysis.Load(abs, rel...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			ws, err := parseWants(pkg, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	used := make([]bool, len(diags))
+	for _, w := range wants {
+		for i, d := range diags {
+			if used[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				used[i] = true
+				w.matched = true
+				break
+			}
+		}
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", shortPath(w.file), w.line, w.pattern)
+		}
+	}
+	for i, d := range diags {
+		if !used[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", shortPath(d.Pos.Filename), d.Message)
+		}
+	}
+}
+
+// parseWants extracts want expectations from one fixture file's
+// comments.
+func parseWants(pkg *analysis.Package, filename string) ([]*expectation, error) {
+	src, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		for rest != "" {
+			if rest[0] != '"' {
+				return nil, fmt.Errorf("%s:%d: malformed want: expected quoted regexp at %q", filename, i+1, rest)
+			}
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: malformed want: %v", filename, i+1, err)
+			}
+			pat, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", filename, i+1, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp: %v", filename, i+1, err)
+			}
+			wants = append(wants, &expectation{file: filename, line: i + 1, pattern: re})
+			rest = strings.TrimSpace(rest[len(q):])
+		}
+	}
+	return wants, nil
+}
+
+func shortPath(p string) string {
+	if i := strings.Index(p, "testdata"); i >= 0 {
+		return p[i:]
+	}
+	return p
+}

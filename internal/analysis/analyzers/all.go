@@ -1,0 +1,18 @@
+// Package analyzers holds the spectm-specific static checks. Each
+// analyzer encodes one invariant of the short-transaction runtime that
+// the type system cannot express; see DESIGN.md ("Static invariants")
+// for the contract each one enforces and the suppression grammar.
+package analyzers
+
+import "spectm/internal/analysis"
+
+// All returns the full spectm-lint suite in deterministic order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Atomicdiscipline,
+		Noalloc,
+		Txnescape,
+		Txnpath,
+		Walorder,
+	}
+}

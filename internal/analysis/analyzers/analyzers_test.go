@@ -1,0 +1,34 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"spectm/internal/analysis/analysistest"
+	"spectm/internal/analysis/analyzers"
+)
+
+// The fixtures live under internal/analysis/testdata/src. The testdata
+// directory keeps them out of ./... wildcards (and so out of go vet and
+// the production build), while explicit paths still load them as
+// ordinary module packages importing the real spectm/internal/core.
+const testdata = "../testdata"
+
+func TestTxnpath(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Txnpath, "txnpath")
+}
+
+func TestTxnescape(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Txnescape, "txnescape")
+}
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Noalloc, "noalloc")
+}
+
+func TestAtomicdiscipline(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Atomicdiscipline, "atomicdiscipline/internal/core")
+}
+
+func TestWalorder(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Walorder, "walorder/internal/wal", "walorder/internal/shardmap")
+}

@@ -1,0 +1,246 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spectm/internal/analysis"
+)
+
+// Atomicdiscipline enforces the mixed-access rule in the engine's
+// lock-word packages (internal/core, internal/vlock, internal/wal):
+// once a struct field's address is passed to a sync/atomic function
+// anywhere in the package, every access to that field must go through
+// sync/atomic. A single plain load or store of such a field is an
+// instant data race under the Go memory model — and worse, on the STM
+// meta-data words it can observe a torn lock word and validate against
+// a version that never existed.
+//
+// Two checks:
+//
+//  1. plain access: a read or write of an atomically-accessed field
+//     that is not of the form &x.f handed to sync/atomic. Taking the
+//     address is legal (that is how Var binds cells to their
+//     meta-data); dereferencing the field directly is not. Composite
+//     literal construction of a not-yet-published value is exempt.
+//
+//  2. copylocks-lite: structs containing atomically-accessed fields
+//     must not be copied by value (parameters, receivers, results,
+//     plain assignment from an existing value) — the copy tears the
+//     word and the copied lock state is meaningless.
+var Atomicdiscipline = &analysis.Analyzer{
+	Name: "atomicdiscipline",
+	Doc:  "fields accessed via sync/atomic must only be accessed atomically, and their structs must not be copied",
+	Run:  runAtomicdiscipline,
+}
+
+// atomicScope lists the package-path suffixes the analyzer applies to.
+var atomicScope = []string{"internal/core", "internal/vlock", "internal/wal"}
+
+func runAtomicdiscipline(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range atomicScope {
+		if strings.HasSuffix(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	marked := collectAtomicFields(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	checkPlainAccess(pass, marked)
+	checkStructCopies(pass, marked)
+	return nil
+}
+
+// isAtomicFn reports whether call is a sync/atomic package-level
+// function (LoadUint64, CompareAndSwapUint64, ...).
+func isAtomicFn(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// addrOfField returns the field object when e has the form &x.f with f
+// a struct field, else nil.
+func addrOfField(info *types.Info, e ast.Expr) *types.Var {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// collectAtomicFields finds every struct field whose address is passed
+// to a sync/atomic function in this package.
+func collectAtomicFields(pass *analysis.Pass) map[*types.Var]bool {
+	marked := map[*types.Var]bool{}
+	for _, f := range passFiles(pass) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFn(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if v := addrOfField(pass.Info, arg); v != nil {
+					marked[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return marked
+}
+
+// checkPlainAccess flags selector uses of marked fields that are not
+// &x.f (address-of is how the field is handed to sync/atomic or bound
+// into a Var).
+func checkPlainAccess(pass *analysis.Pass, marked map[*types.Var]bool) {
+	for _, f := range passFiles(pass) {
+		// parent tracking: ast.Inspect gives no parent pointer, so walk
+		// with an explicit stack.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, _ := s.Obj().(*types.Var)
+			if v == nil || !marked[v] {
+				return true
+			}
+			if len(stack) >= 2 {
+				switch p := stack[len(stack)-2].(type) {
+				case *ast.UnaryExpr:
+					if p.Op == token.AND {
+						return true // &x.f: address for atomic use
+					}
+				case *ast.SelectorExpr:
+					if p.Sel == sel.Sel {
+						return true // intermediate selection step
+					}
+				}
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to %s.%s, which is accessed with sync/atomic elsewhere in this package — use atomic load/store",
+				fieldOwnerName(v), v.Name())
+			return true
+		})
+	}
+}
+
+// fieldOwnerName best-effort names the struct type declaring v.
+func fieldOwnerName(v *types.Var) string {
+	if v.Pkg() == nil {
+		return "?"
+	}
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn.Name()
+			}
+		}
+	}
+	return "?"
+}
+
+// checkStructCopies flags by-value copies of structs that contain
+// marked fields.
+func checkStructCopies(pass *analysis.Pass, marked map[*types.Var]bool) {
+	hasMarked := func(t types.Type) bool {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return false
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if marked[st.Field(i)] {
+				return true
+			}
+		}
+		return false
+	}
+
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			t := pass.Info.Types[fld.Type].Type
+			if t != nil && hasMarked(t) {
+				pass.Reportf(fld.Type.Pos(),
+					"%s copies %s by value; it contains atomically-accessed fields — pass a pointer", what, t)
+			}
+		}
+	}
+
+	for _, f := range passFiles(pass) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(n.Recv, "receiver")
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			case *ast.AssignStmt:
+				for _, r := range n.Rhs {
+					// Copying an existing value (deref, field, index)
+					// tears; constructing via a literal or call result
+					// does not.
+					switch ast.Unparen(r).(type) {
+					case *ast.StarExpr, *ast.SelectorExpr, *ast.IndexExpr, *ast.Ident:
+					default:
+						continue
+					}
+					t := pass.Info.Types[r].Type
+					if t != nil && hasMarked(t) {
+						pass.Reportf(r.Pos(),
+							"assignment copies %s by value; it contains atomically-accessed fields", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,357 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spectm/internal/analysis"
+)
+
+// Noalloc turns the AllocsPerRun benchmark pins into a compile-time
+// gate: a function annotated `//spectm:noalloc` — and its same-package
+// callees, up to a call-depth budget — must not contain constructs the
+// compiler lowers to heap allocation:
+//
+//   - make of slices, maps and channels; slice/map composite literals;
+//     new(T); &T{…}
+//   - closures that capture enclosing variables (closure environments
+//     are heap-allocated); plain func literals are static and fine
+//   - string ↔ []byte/[]rune conversions and non-constant string
+//     concatenation
+//   - boxing a non-pointer-shaped value into an interface (the classic
+//     fmt argument trap); constants box to static data and are fine
+//   - append whose result lands in a different variable than its
+//     operand (the `b = append(b, …)` reuse idiom stays legal: its
+//     growth is amortized away by the recycled buffer)
+//   - go statements, writes into Go maps, and calls into fmt/errors
+//
+// Calls that cannot be resolved statically (interface methods, func
+// values) and calls into other packages are trusted — cross-package
+// hot paths carry their own annotation and the AllocsPerRun pins
+// remain the dynamic backstop. A callee annotated `//spectm:coldpath`
+// is an explicitly amortized slow path (resize, buffer growth, error
+// handling): it is not descended into, and the arguments of a call to
+// it are exempt from the boxing check — that call site is where the
+// code leaves the hot path. panic arguments are exempt: a panicking
+// path has already forfeited the hot-path contract.
+var Noalloc = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //spectm:noalloc must not heap-allocate",
+	Run:  runNoalloc,
+}
+
+// noallocBudget is how deep the checker follows same-package calls
+// from an annotated root.
+const noallocBudget = 4
+
+func runNoalloc(pass *analysis.Pass) error {
+	decls := map[types.Object]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	for _, f := range passFiles(pass) {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+			if analysis.FuncDirectives(fd)["noalloc"] {
+				roots = append(roots, fd)
+			}
+		}
+	}
+	c := &noallocChecker{pass: pass, decls: decls, reported: map[token.Pos]bool{}}
+	for _, root := range roots {
+		c.check(root, root.Name.Name, noallocBudget, map[*ast.FuncDecl]bool{})
+	}
+	return nil
+}
+
+type noallocChecker struct {
+	pass     *analysis.Pass
+	decls    map[types.Object]*ast.FuncDecl
+	reported map[token.Pos]bool
+}
+
+func (c *noallocChecker) reportf(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// check walks one function in the noalloc context rooted at root.
+func (c *noallocChecker) check(fd *ast.FuncDecl, root string, budget int, seen map[*ast.FuncDecl]bool) {
+	if seen[fd] {
+		return
+	}
+	seen[fd] = true
+	c.node(fd.Body, root, budget, seen)
+}
+
+func (c *noallocChecker) node(n ast.Node, root string, budget int, seen map[*ast.FuncDecl]bool) {
+	info := c.pass.Info
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capturesVariables(info, n) {
+				c.reportf(n.Pos(), "closure captures variables (heap-allocated environment) in noalloc path %s", root)
+			}
+			return false // a non-capturing literal is a static function
+
+		case *ast.GoStmt:
+			c.reportf(n.Pos(), "go statement (new goroutine stack) in noalloc path %s", root)
+
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				c.reportf(n.Pos(), "slice literal allocates in noalloc path %s", root)
+			case *types.Map:
+				c.reportf(n.Pos(), "map literal allocates in noalloc path %s", root)
+			}
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.reportf(n.Pos(), "&composite literal allocates in noalloc path %s", root)
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+					c.reportf(n.Pos(), "string concatenation allocates in noalloc path %s", root)
+				}
+			}
+
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if ix, ok := l.(*ast.IndexExpr); ok {
+					if _, isMap := info.Types[ix.X].Type.Underlying().(*types.Map); isMap {
+						c.reportf(l.Pos(), "map write may grow the map in noalloc path %s", root)
+					}
+				}
+			}
+			c.checkAppendAliasing(n, root)
+
+		case *ast.CallExpr:
+			c.call(n, root, budget, seen)
+		}
+		return true
+	})
+}
+
+// call classifies one call expression in a noalloc context.
+func (c *noallocChecker) call(call *ast.CallExpr, root string, budget int, seen map[*ast.FuncDecl]bool) {
+	info := c.pass.Info
+
+	// Builtins and conversions.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch {
+		case id.Name == "panic" && isBuiltinIdent(info, id):
+			return // dying path; arguments exempt
+		case id.Name == "new" && isBuiltinIdent(info, id):
+			c.reportf(call.Pos(), "new(T) allocates in noalloc path %s", root)
+			return
+		case id.Name == "make" && isBuiltinIdent(info, id):
+			switch info.Types[call].Type.Underlying().(type) {
+			case *types.Slice:
+				c.reportf(call.Pos(), "make([]T) allocates in noalloc path %s", root)
+			case *types.Map:
+				c.reportf(call.Pos(), "make(map) allocates in noalloc path %s", root)
+			case *types.Chan:
+				c.reportf(call.Pos(), "make(chan) allocates in noalloc path %s", root)
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		c.conversion(call, tv.Type, root)
+		return
+	}
+
+	// Resolve a static same-package callee. The resolution happens
+	// before the argument-boxing check because a call into a
+	// //spectm:coldpath callee is *entering* the amortized slow path:
+	// whatever its arguments box is part of that cold path, not of the
+	// hot one.
+	var callee types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			callee = sel.Obj()
+		} else {
+			callee = info.Uses[fun.Sel]
+		}
+	}
+	var decl *ast.FuncDecl
+	if fn, ok := callee.(*types.Func); ok && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "errors":
+			c.reportf(call.Pos(), "call to %s.%s allocates in noalloc path %s", fn.Pkg().Name(), fn.Name(), root)
+			return
+		}
+		if fn.Pkg() == c.pass.Pkg {
+			decl = c.decls[fn]
+		}
+		// Cross-package callees are trusted: hot paths there carry
+		// their own annotation and the AllocsPerRun pins back them up.
+	}
+	if decl != nil && analysis.FuncDirectives(decl)["coldpath"] {
+		return // explicitly amortized slow path; the whole call is cold
+	}
+
+	c.interfaceArgs(call, root)
+
+	if decl == nil {
+		return // func value, interface method, or cross-package
+	}
+	if analysis.FuncDirectives(decl)["noalloc"] {
+		return // checked as its own root already
+	}
+	if budget == 0 {
+		return
+	}
+	c.check(decl, root, budget-1, seen)
+}
+
+// conversion flags the converting calls that allocate.
+func (c *noallocChecker) conversion(call *ast.CallExpr, to types.Type, root string) {
+	if len(call.Args) != 1 {
+		return
+	}
+	info := c.pass.Info
+	fromTV, ok := info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	if fromTV.Value != nil {
+		return // constant-folded
+	}
+	from := fromTV.Type
+	switch {
+	case isString(to) && isByteOrRuneSlice(from):
+		c.reportf(call.Pos(), "string(%s) conversion allocates in noalloc path %s", from, root)
+	case isByteOrRuneSlice(to) && isString(from):
+		c.reportf(call.Pos(), "%s(string) conversion allocates in noalloc path %s", to, root)
+	case types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()) && !pointerShaped(from):
+		c.reportf(call.Pos(), "interface conversion boxes %s in noalloc path %s", from, root)
+	}
+}
+
+// interfaceArgs flags non-constant, non-pointer-shaped values passed
+// into interface parameters.
+func (c *noallocChecker) interfaceArgs(call *ast.CallExpr, root string) {
+	info := c.pass.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			pt = params.At(params.Len() - 1).Type()
+			if s, ok := pt.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || atv.Type == nil || atv.Value != nil || atv.IsNil() {
+			continue
+		}
+		at := atv.Type
+		if types.IsInterface(at.Underlying()) || pointerShaped(at) {
+			continue
+		}
+		c.reportf(arg.Pos(), "argument boxes %s into interface parameter in noalloc path %s", at, root)
+	}
+}
+
+// checkAppendAliasing flags `x = append(y, …)` where x and y differ —
+// the result does not recycle its operand's backing array, so growth
+// is a fresh allocation every time.
+func (c *noallocChecker) checkAppendAliasing(as *ast.AssignStmt, root string) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, r := range as.Rhs {
+		call, ok := r.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" || !isBuiltinIdent(c.pass.Info, id) {
+			continue
+		}
+		if types.ExprString(as.Lhs[i]) != types.ExprString(call.Args[0]) {
+			c.reportf(call.Pos(), "append into a different variable (unamortized growth) in noalloc path %s", root)
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit a machine word without
+// boxing when stored in an interface.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// capturesVariables reports whether lit references variables declared
+// outside itself.
+func capturesVariables(info *types.Info, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level var: not a closure capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captures = true
+			return false
+		}
+		return true
+	})
+	return captures
+}

@@ -1,0 +1,515 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spectm/internal/analysis"
+)
+
+// Txnescape flags short-transaction descriptors that outlive the
+// function that opened them, or that are used after the transaction is
+// decided. A descriptor (ShortRW*, ShortRO*, ShortROxRWy) is a view of
+// the thread's single in-flight short transaction: storing one in a
+// struct field, global, map, slice or channel, returning it, boxing it
+// into an interface, or capturing it in a closure lets it be touched
+// after Commit/Abort — at which point it silently addresses someone
+// else's transaction. Using a descriptor after Commit/Abort/Discard, or
+// after Extend/Upgrade/LockRead consumed it, is flagged directly.
+//
+// The defining package (internal/core) is exempt: its own openers and
+// transitions legitimately construct and return descriptors.
+var Txnescape = &analysis.Analyzer{
+	Name: "txnescape",
+	Doc:  "short-transaction descriptors must not escape their function or be used after Commit/Abort",
+	Run:  runTxnescape,
+}
+
+func runTxnescape(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == corePkgPath {
+		return nil
+	}
+	for _, f := range passFiles(pass) {
+		checkEscapeSites(pass, f)
+		forEachFuncBody(f, func(name string, body *ast.BlockStmt) {
+			if funcUsesShortTxns(pass.Info, body) {
+				checkUseAfterTerminal(pass, name, body)
+			}
+		})
+	}
+	return nil
+}
+
+// descExprName returns the descriptor type name of e's value, if any.
+func descExprName(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	return descTypeName(tv.Type)
+}
+
+// ---- escape sites ----
+
+func checkEscapeSites(pass *analysis.Pass, f *ast.File) {
+	// Collect every expression in call-function position so method
+	// values can be told apart from method calls.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			callFuns[c.Fun] = true
+		}
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, fld := range n.Fields.List {
+				if tv, ok := pass.Info.Types[fld.Type]; ok {
+					if name, ok := descTypeName(tv.Type); ok {
+						pass.Reportf(fld.Pos(), "struct field retains a %s short-transaction descriptor past its transaction", name)
+					}
+				}
+			}
+
+		case *ast.GenDecl:
+			// Package-level vars are the only GenDecls reached outside
+			// function bodies by this walker's callers.
+
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				name, ok := descExprName(pass, rhs)
+				if !ok {
+					// Tuple assignments (d, v := …) are typed per-LHS.
+					if tv, tok := pass.Info.Types[rhs]; !tok || tv.Type == nil {
+						continue
+					}
+					if lt, lok := pass.Info.Types[lhs]; lok && lt.Type != nil {
+						name, ok = descTypeName(lt.Type)
+					}
+					if !ok {
+						continue
+					}
+					// Only flag when the RHS really carries a
+					// descriptor into a long-lived location; tuple
+					// opens assigned to plain locals are the normal
+					// idiom.
+				}
+				switch target := lhs.(type) {
+				case *ast.SelectorExpr:
+					if sel, sok := pass.Info.Selections[target]; sok && sel.Kind() == types.FieldVal {
+						pass.Reportf(n.Pos(), "%s short-transaction descriptor stored in struct field %s", name, target.Sel.Name)
+					}
+				case *ast.IndexExpr:
+					pass.Reportf(n.Pos(), "%s short-transaction descriptor stored in a map or slice element", name)
+				case *ast.Ident:
+					if obj := pass.Info.Uses[target]; obj != nil {
+						if v, vok := obj.(*types.Var); vok && v.Parent() == pass.Pkg.Scope() {
+							pass.Reportf(n.Pos(), "%s short-transaction descriptor stored in package-level variable %s", name, target.Name)
+						}
+					}
+				}
+			}
+
+		case *ast.ValueSpec:
+			if tv, ok := pass.Info.Types[valueSpecType(n)]; ok && tv.Type != nil {
+				if name, ok := descTypeName(tv.Type); ok {
+					for _, id := range n.Names {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							if v, vok := obj.(*types.Var); vok && v.Parent() == pass.Pkg.Scope() {
+								pass.Reportf(id.Pos(), "package-level variable %s retains a %s short-transaction descriptor", id.Name, name)
+							}
+						}
+					}
+				}
+			}
+
+		case *ast.SendStmt:
+			if name, ok := descExprName(pass, n.Value); ok {
+				pass.Reportf(n.Pos(), "%s short-transaction descriptor sent over a channel", name)
+			}
+
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if name, ok := descExprName(pass, v); ok {
+					pass.Reportf(v.Pos(), "%s short-transaction descriptor stored in a composite literal", name)
+				}
+			}
+
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if name, ok := descExprName(pass, r); ok {
+					pass.Reportf(r.Pos(), "%s short-transaction descriptor returned from its opening function", name)
+				}
+			}
+
+		case *ast.CallExpr:
+			checkInterfaceArgs(pass, n)
+
+		case *ast.SelectorExpr:
+			if !callFuns[n] {
+				if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					if name, ok := descTypeName(sel.Recv()); ok {
+						pass.Reportf(n.Pos(), "method value binds a %s short-transaction descriptor beyond the call site", name)
+					}
+				}
+			}
+
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, ok := pass.Info.Uses[id].(*types.Var)
+				if !ok || obj.IsField() {
+					return true
+				}
+				if name, ok := descTypeName(obj.Type()); ok {
+					if obj.Pos() < n.Pos() || obj.Pos() > n.End() {
+						pass.Reportf(id.Pos(), "closure captures %s short-transaction descriptor %s from the enclosing function", name, id.Name)
+					}
+				}
+				return true
+			})
+		}
+		return true
+	}
+	ast.Inspect(f, walk)
+}
+
+func valueSpecType(vs *ast.ValueSpec) ast.Expr {
+	if vs.Type != nil {
+		return vs.Type
+	}
+	if len(vs.Values) == 1 {
+		return vs.Values[0]
+	}
+	return nil
+}
+
+// checkInterfaceArgs flags descriptor values passed into interface
+// parameters (fmt.Println(d), reflect, any-typed sinks): the box
+// outlives the call and the descriptor with it.
+func checkInterfaceArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		name, isDesc := descExprName(pass, arg)
+		if !isDesc {
+			continue
+		}
+		var pt types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			pt = sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := pt.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		} else if i < sig.Params().Len() {
+			pt = sig.Params().At(i).Type()
+		}
+		if pt != nil && types.IsInterface(pt.Underlying()) {
+			pass.Reportf(arg.Pos(), "%s short-transaction descriptor passed as interface argument", name)
+		}
+	}
+}
+
+// ---- use after terminal ----
+
+// death records why a descriptor variable became unusable.
+type death struct {
+	reason string // "Commit", "Abort", "Discard", or "Extend"/"Upgrade…"
+}
+
+// checkUseAfterTerminal runs a definite-execution walk over the
+// function body: once a descriptor variable's transaction is decided
+// (Commit/Abort/Discard) or the variable is consumed by a transition
+// (Extend/Upgrade/LockRead), later uses on every path that falls
+// through are reported until the variable is reassigned.
+func checkUseAfterTerminal(pass *analysis.Pass, fname string, body *ast.BlockStmt) {
+	walkDeadBlock(pass, fname, body.List, map[*types.Var]death{})
+}
+
+func walkDeadBlock(pass *analysis.Pass, fname string, list []ast.Stmt, dead map[*types.Var]death) {
+	for _, st := range list {
+		reportDeadUses(pass, fname, st, dead)
+		applyDeaths(pass, st, dead)
+		switch st := st.(type) {
+		case *ast.IfStmt:
+			walkDeadIf(pass, fname, st, dead)
+		case *ast.ForStmt:
+			walkDeadBlock(pass, fname, st.Body.List, copyDead(dead))
+		case *ast.RangeStmt:
+			walkDeadBlock(pass, fname, st.Body.List, copyDead(dead))
+		case *ast.BlockStmt:
+			walkDeadBlock(pass, fname, st.List, dead)
+		case *ast.SwitchStmt:
+			walkDeadCases(pass, fname, st.Body, dead)
+		case *ast.TypeSwitchStmt:
+			walkDeadCases(pass, fname, st.Body, dead)
+		case *ast.SelectStmt:
+			walkDeadCases(pass, fname, st.Body, dead)
+		}
+	}
+}
+
+func walkDeadIf(pass *analysis.Pass, fname string, st *ast.IfStmt, dead map[*types.Var]death) {
+	thenDead := copyDead(dead)
+	walkDeadBlock(pass, fname, st.Body.List, thenDead)
+	elseDead := copyDead(dead)
+	if st.Else != nil {
+		walkDeadBlock(pass, fname, []ast.Stmt{st.Else}, elseDead)
+	}
+	thenFalls := fallsThrough(st.Body.List)
+	elseFalls := st.Else == nil || fallsThrough([]ast.Stmt{st.Else})
+	// Deaths that definitely happened on every falling branch persist.
+	switch {
+	case thenFalls && elseFalls:
+		for v, d := range thenDead {
+			if _, ok := elseDead[v]; ok {
+				dead[v] = d
+			}
+		}
+		for v := range dead {
+			if _, ok := thenDead[v]; !ok {
+				delete(dead, v) // revived in then-branch
+			} else if _, ok := elseDead[v]; !ok {
+				delete(dead, v)
+			}
+		}
+	case thenFalls:
+		clearMap(dead)
+		for v, d := range thenDead {
+			dead[v] = d
+		}
+	case elseFalls:
+		clearMap(dead)
+		for v, d := range elseDead {
+			dead[v] = d
+		}
+	}
+}
+
+func walkDeadCases(pass *analysis.Pass, fname string, body *ast.BlockStmt, dead map[*types.Var]death) {
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			walkDeadBlock(pass, fname, c.Body, copyDead(dead))
+		case *ast.CommClause:
+			walkDeadBlock(pass, fname, c.Body, copyDead(dead))
+		}
+	}
+}
+
+func copyDead(m map[*types.Var]death) map[*types.Var]death {
+	out := make(map[*types.Var]death, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func clearMap(m map[*types.Var]death) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// fallsThrough reports whether a statement list can reach the
+// statement after it (syntactic check, mirrors go/types' terminating
+// statement rules closely enough for this analysis).
+func fallsThrough(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return true
+	}
+	switch st := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.BranchStmt:
+		return st.Tok == token.FALLTHROUGH
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+	case *ast.BlockStmt:
+		return fallsThrough(st.List)
+	}
+	return true
+}
+
+// reportDeadUses flags identifiers bound to dead descriptors used in
+// st's directly-executed expressions (sub-blocks handle their own).
+func reportDeadUses(pass *analysis.Pass, fname string, st ast.Stmt, dead map[*types.Var]death) {
+	if len(dead) == 0 {
+		return
+	}
+	// Reassignment revives a dead descriptor; the LHS identifiers of an
+	// assignment are writes, not uses.
+	skip := map[ast.Expr]bool{}
+	if as, ok := st.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+	}
+	shallowExprs(st, func(e ast.Expr) {
+		if skip[e] {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.Info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			if d, isDead := dead[v]; isDead {
+				pass.Reportf(id.Pos(), "%s: use of short-transaction descriptor %s after %s", fname, id.Name, d.reason)
+			}
+			return true
+		})
+	})
+}
+
+// applyDeaths updates the dead set for st's directly-executed
+// expressions: terminal and transition calls kill their receiver
+// variable; assignment to a variable revives it.
+func applyDeaths(pass *analysis.Pass, st ast.Stmt, dead map[*types.Var]death) {
+	if as, ok := st.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if v, ok := objOf(pass, id).(*types.Var); ok {
+					delete(dead, v)
+				}
+			}
+		}
+	}
+	shallowExprs(st, func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.Info.Uses[recvID].(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, isDesc := descTypeName(v.Type()); !isDesc {
+				return true
+			}
+			switch name := sel.Sel.Name; {
+			case name == "Commit" || name == "Abort" || name == "Discard":
+				dead[v] = death{reason: name}
+			case name == "Extend" || name == "LockRead" || descUpgradeRe.MatchString(name):
+				dead[v] = death{reason: fmt.Sprintf("%s consumed it", name)}
+			}
+			return true
+		})
+	})
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.Info.Defs[id]; o != nil {
+		return o
+	}
+	return pass.Info.Uses[id]
+}
+
+// shallowExprs visits the expressions st executes directly, without
+// descending into nested statement bodies.
+func shallowExprs(st ast.Stmt, fn func(ast.Expr)) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		fn(st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Lhs {
+			fn(e)
+		}
+		for _, e := range st.Rhs {
+			fn(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			fn(e)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			shallowExprs(st.Init, fn)
+		}
+		fn(st.Cond)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			shallowExprs(st.Init, fn)
+		}
+	case *ast.RangeStmt:
+		fn(st.X)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			shallowExprs(st.Init, fn)
+		}
+		if st.Tag != nil {
+			fn(st.Tag)
+		}
+	case *ast.SendStmt:
+		fn(st.Chan)
+		fn(st.Value)
+	case *ast.IncDecStmt:
+		fn(st.X)
+	case *ast.DeferStmt:
+		fn(st.Call)
+	case *ast.GoStmt:
+		fn(st.Call)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						fn(v)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package core holds fixtures for the atomicdiscipline analyzer. Its
+// import path ends in internal/core, which puts it inside the
+// analyzer's scope; the Cell shape mirrors the real engine's
+// transactional word (meta + data accessed via sync/atomic).
+package core
+
+import "sync/atomic"
+
+type Cell struct {
+	meta uint64
+	data uint64
+}
+
+func (c *Cell) Init(v uint64) {
+	atomic.StoreUint64(&c.meta, 0)
+	atomic.StoreUint64(&c.data, v)
+}
+
+// ---- violations ----
+
+func (c *Cell) badRead() uint64 {
+	return c.data // want "plain access to Cell.data"
+}
+
+func (c *Cell) badWrite(v uint64) {
+	c.meta = v // want "plain access to Cell.meta"
+}
+
+func badCopyParam(c Cell) uint64 { // want "parameter copies"
+	return atomic.LoadUint64(&c.data)
+}
+
+func badCopyAssign(p *Cell) uint64 {
+	c := *p // want "assignment copies"
+	return atomic.LoadUint64(&c.data)
+}
+
+// ---- legal idioms ----
+
+func (c *Cell) okLoad() uint64 {
+	return atomic.LoadUint64(&c.data)
+}
+
+func (c *Cell) okCAS(old, v uint64) bool {
+	return atomic.CompareAndSwapUint64(&c.data, old, v)
+}
+
+// Constructing a fresh, not-yet-published cell is not a copy.
+func okNew(v uint64) *Cell {
+	c := Cell{}
+	c.Init(v)
+	return &c
+}
+
+func okPointerParam(c *Cell) uint64 {
+	return atomic.LoadUint64(&c.meta)
+}

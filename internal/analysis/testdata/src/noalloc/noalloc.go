@@ -1,0 +1,155 @@
+// Package noalloc holds fixtures for the noalloc analyzer: functions
+// annotated //spectm:noalloc must not heap-allocate.
+package noalloc
+
+import "fmt"
+
+func sink(any) {}
+
+// ---- violations ----
+
+//spectm:noalloc
+func badMake(n int) int {
+	s := make([]int, n) // want "allocates in noalloc path badMake"
+	return len(s)
+}
+
+//spectm:noalloc
+func badNew() *int {
+	return new(int) // want "allocates in noalloc path badNew"
+}
+
+//spectm:noalloc
+func badLit() int {
+	m := map[int]int{} // want "map literal allocates in noalloc path badLit"
+	return len(m)
+}
+
+//spectm:noalloc
+func badAddrLit() *struct{ x int } {
+	return &struct{ x int }{x: 1} // want "composite literal allocates in noalloc path badAddrLit"
+}
+
+//spectm:noalloc
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation allocates in noalloc path badConcat"
+}
+
+//spectm:noalloc
+func badBytes(s string) []byte {
+	return []byte(s) // want "conversion allocates in noalloc path badBytes"
+}
+
+//spectm:noalloc
+func badBox(v int) {
+	sink(v) // want "boxes int into interface parameter in noalloc path badBox"
+}
+
+//spectm:noalloc
+func badClosure(n int) func() int {
+	return func() int { return n } // want "closure captures variables"
+}
+
+//spectm:noalloc
+func badGo() {
+	go doNothing() // want "go statement"
+}
+
+func doNothing() {}
+
+//spectm:noalloc
+func badMapWrite(m map[int]int) {
+	m[1] = 2 // want "map write may grow the map"
+}
+
+//spectm:noalloc
+func badAppend(buf []byte, b byte) []byte {
+	out := append(buf, b) // want "append into a different variable"
+	return out
+}
+
+//spectm:noalloc
+func badFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want "call to fmt.Sprintf allocates"
+}
+
+// The check follows same-package callees: the allocation is reported
+// where it happens, attributed to the annotated root.
+//
+//spectm:noalloc
+func badCallee() int {
+	return helper()
+}
+
+func helper() int {
+	m := map[int]int{1: 1} // want "map literal allocates in noalloc path badCallee"
+	return len(m)
+}
+
+// ---- legal idioms ----
+
+//spectm:noalloc
+func okArith(a, b uint64) uint64 {
+	return a*31 + b
+}
+
+// Reusing the operand's backing array is the amortized-growth idiom.
+//
+//spectm:noalloc
+func okAppendReuse(buf []byte, b byte) []byte {
+	buf = append(buf, b)
+	return buf
+}
+
+// Constants box to static data, not the heap.
+//
+//spectm:noalloc
+func okConstBox() {
+	sink("static")
+}
+
+// Struct and array literals stay on the stack.
+//
+//spectm:noalloc
+func okStackLit() [2]uint64 {
+	return [2]uint64{1, 2}
+}
+
+// A //spectm:coldpath callee is an explicitly amortized slow path.
+//
+//spectm:noalloc
+func okColdCall(n int) {
+	if n > 1024 {
+		grow(n)
+	}
+}
+
+//spectm:coldpath
+func grow(n int) {
+	_ = make([]int, n)
+}
+
+// Arguments of a call into a coldpath callee are exempt from the boxing
+// check: the call site is where the code leaves the hot path.
+//
+//spectm:noalloc
+func okColdBox(n int) error {
+	if n > 1024 {
+		return errColdf("overflow: %d", n)
+	}
+	return nil
+}
+
+//spectm:coldpath
+func errColdf(format string, args ...any) error {
+	_ = format
+	_ = args
+	return nil
+}
+
+// Pointer-shaped values box without allocating.
+//
+//spectm:noalloc
+func okPointerBox(p *int) {
+	sink(p)
+}

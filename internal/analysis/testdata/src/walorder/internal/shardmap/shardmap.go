@@ -1,0 +1,44 @@
+// Package shardmap holds fixtures for walorder rule 1: WAL appends
+// describe committed mutations, so they must run strictly after the
+// owning short transaction commits. The import path ends in
+// internal/shardmap to land in the analyzer's scope.
+package shardmap
+
+import (
+	"spectm/internal/analysis/testdata/src/walorder/internal/wal"
+	"spectm/internal/core"
+)
+
+type Thread struct {
+	w *wal.Log
+}
+
+func (th *Thread) logPut(k uint64) { th.w.Put(k) }
+
+// ---- violations ----
+
+func badAppendInTxn(t *core.Thr, a, b core.Var, w *wal.Log) {
+	d, v1, v2 := t.ShortRW2(a, b)
+	w.Put(uint64(v1)) // want "WAL append inside an open short transaction"
+	d.Commit(v1, v2)
+}
+
+func badHookInTxn(t *core.Thr, a core.Var, th *Thread) {
+	d, v := t.ShortRW1(a)
+	th.logPut(uint64(v)) // want "WAL append inside an open short transaction"
+	d.Commit(v)
+}
+
+// ---- legal ordering ----
+
+func goodAppendAfterCommit(t *core.Thr, a core.Var, w *wal.Log) {
+	d, v := t.ShortRW1(a)
+	d.Commit(v + 1)
+	w.Put(uint64(v))
+}
+
+func goodHookAfterAbort(t *core.Thr, a core.Var, th *Thread) {
+	d, v := t.ShortRW1(a)
+	d.Abort()
+	th.logPut(uint64(v))
+}

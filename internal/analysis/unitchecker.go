@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration file cmd/go hands a vet tool
+// for each package (the `go vet -vettool=` unit-checker protocol). The
+// field set matches what cmd/go emits; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements the `-V=full` handshake cmd/go uses to build
+// a cache key for an external vet tool: the output must look like
+// "name version devel ... buildID=<content-id>", where the content id
+// changes whenever the tool binary does.
+func PrintVersion(w io.Writer) {
+	name := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+	sum := [sha256.Size]byte{}
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum = sha256.Sum256(data)
+		}
+	}
+	fmt.Fprintf(w, "%s version devel spectm-lint buildID=%02x\n", name, sum)
+}
+
+// UnitCheck runs analyzers over the single package described by the
+// cfg file (the go vet unit-checker protocol) and returns the process
+// exit code: 0 clean, 1 diagnostics found, 2 internal error. Output is
+// written to w in the plain "file:line:col: message" form go vet
+// relays.
+func UnitCheck(cfgFile string, analyzers []*Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(w, "spectm-lint: reading %s: %v\n", cfgFile, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "spectm-lint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// cmd/go caches and ships a facts file between dependent packages.
+	// These analyzers are fact-free, but the output file must exist for
+	// the cache entry to be recorded.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("spectm-lint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(w, "spectm-lint: writing %s: %v\n", cfg.VetxOutput, err)
+			return 2
+		}
+	}
+	// A VetxOnly run only wants the facts of a dependency, never the
+	// diagnostics.
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := typeCheck(fset, imp, cfg.ImportPath, "", cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "spectm-lint: %v\n", err)
+		return 2
+	}
+	diags, err := Run(analyzers, []*Package{pkg})
+	if err != nil {
+		fmt.Fprintf(w, "spectm-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -41,6 +41,14 @@ func (rd *Reader) Buffered() int { return rd.w - rd.r }
 // errIncomplete signals that the buffer does not yet hold a full frame.
 var errIncomplete = fmt.Errorf("proto: incomplete frame")
 
+// protoErrf builds a protocol-violation error. A protocol error tears
+// the connection down, so this path is allowed to allocate.
+//
+//spectm:coldpath
+func protoErrf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
 // fill reads more bytes from the stream, compacting or growing the
 // buffer as needed.
 func (rd *Reader) fill(limit int) error {
@@ -57,12 +65,9 @@ func (rd *Reader) fill(limit int) error {
 		rd.r = 0
 	}
 	if rd.w == len(rd.buf) {
-		if len(rd.buf) >= limit {
-			return fmt.Errorf("%w: frame exceeds %d bytes", ErrProtocol, limit)
+		if err := rd.grow(limit); err != nil {
+			return err
 		}
-		next := make([]byte, 2*len(rd.buf))
-		copy(next, rd.buf[:rd.w])
-		rd.buf = next
 	}
 	n, err := rd.src.Read(rd.buf[rd.w:])
 	rd.w += n
@@ -73,6 +78,21 @@ func (rd *Reader) fill(limit int) error {
 		err = io.ErrNoProgress
 	}
 	return err
+}
+
+// grow doubles the buffer up to limit. Growth is amortized away by the
+// doubling: a steady-state connection reaches its high-water size once
+// and never allocates here again.
+//
+//spectm:coldpath
+func (rd *Reader) grow(limit int) error {
+	if len(rd.buf) >= limit {
+		return protoErrf("%w: frame exceeds %d bytes", ErrProtocol, limit)
+	}
+	next := make([]byte, 2*len(rd.buf))
+	copy(next, rd.buf[:rd.w])
+	rd.buf = next
+	return nil
 }
 
 // line returns the next \r\n- (or bare \n-) terminated line starting at
@@ -102,12 +122,12 @@ func (rd *Reader) integer(p int) (int64, int, error) {
 		ln = ln[1:]
 	}
 	if len(ln) == 0 || len(ln) > 19 {
-		return 0, 0, fmt.Errorf("%w: bad integer", ErrProtocol)
+		return 0, 0, protoErrf("%w: bad integer", ErrProtocol)
 	}
 	var n int64
 	for _, c := range ln {
 		if c < '0' || c > '9' {
-			return 0, 0, fmt.Errorf("%w: bad integer", ErrProtocol)
+			return 0, 0, protoErrf("%w: bad integer", ErrProtocol)
 		}
 		n = n*10 + int64(c-'0')
 	}
@@ -121,6 +141,7 @@ func (rd *Reader) integer(p int) (int64, int, error) {
 // one full command is buffered. The returned slices alias the reader's
 // buffer and are valid only until the next call. A blank inline line
 // yields a zero-argument command (callers should skip it).
+//spectm:noalloc
 func (rd *Reader) Next() ([][]byte, error) {
 	for {
 		args, adv, err := rd.parseCommand()
@@ -156,7 +177,7 @@ func (rd *Reader) parseCommand() ([][]byte, int, error) {
 		return nil, 0, err
 	}
 	if argc < 0 || argc > MaxArgs {
-		return nil, 0, fmt.Errorf("%w: argc %d out of range", ErrProtocol, argc)
+		return nil, 0, protoErrf("%w: argc %d out of range", ErrProtocol, argc)
 	}
 	rd.args = rd.args[:0]
 	for i := int64(0); i < argc; i++ {
@@ -164,20 +185,20 @@ func (rd *Reader) parseCommand() ([][]byte, int, error) {
 			return nil, 0, errIncomplete
 		}
 		if rd.buf[p] != '$' {
-			return nil, 0, fmt.Errorf("%w: expected bulk string, got %q", ErrProtocol, rd.buf[p])
+			return nil, 0, protoErrf("%w: expected bulk string, got %q", ErrProtocol, rd.buf[p])
 		}
 		n, q, err := rd.integer(p + 1)
 		if err != nil {
 			return nil, 0, err
 		}
 		if n < 0 || n > MaxBulk {
-			return nil, 0, fmt.Errorf("%w: bulk length %d out of range", ErrProtocol, n)
+			return nil, 0, protoErrf("%w: bulk length %d out of range", ErrProtocol, n)
 		}
 		if q+int(n)+2 > rd.w {
 			return nil, 0, errIncomplete
 		}
 		if rd.buf[q+int(n)] != '\r' || rd.buf[q+int(n)+1] != '\n' {
-			return nil, 0, fmt.Errorf("%w: bulk string missing terminator", ErrProtocol)
+			return nil, 0, protoErrf("%w: bulk string missing terminator", ErrProtocol)
 		}
 		rd.args = append(rd.args, rd.buf[q:q+int(n)])
 		p = q + int(n) + 2
@@ -203,7 +224,7 @@ func (rd *Reader) parseInline() ([][]byte, int, error) {
 		}
 		if j > i {
 			if len(rd.args) == MaxArgs {
-				return nil, 0, fmt.Errorf("%w: more than %d inline arguments", ErrProtocol, MaxArgs)
+				return nil, 0, protoErrf("%w: more than %d inline arguments", ErrProtocol, MaxArgs)
 			}
 			rd.args = append(rd.args, ln[i:j])
 		}
@@ -224,6 +245,7 @@ type Reply struct {
 // ReadReply decodes the next reply frame into rep. For an array reply
 // ('*'), only the header is consumed: the caller reads rep.Int element
 // replies next.
+//spectm:noalloc
 func (rd *Reader) ReadReply(rep *Reply) error {
 	for {
 		adv, err := rd.parseReply(rep)
@@ -270,13 +292,13 @@ func (rd *Reader) parseReply(rep *Reply) (int, error) {
 			return p - rd.r, nil
 		}
 		if n < 0 || n > MaxBulk {
-			return 0, fmt.Errorf("%w: bulk length %d out of range", ErrProtocol, n)
+			return 0, protoErrf("%w: bulk length %d out of range", ErrProtocol, n)
 		}
 		if p+int(n)+2 > rd.w {
 			return 0, errIncomplete
 		}
 		if rd.buf[p+int(n)] != '\r' || rd.buf[p+int(n)+1] != '\n' {
-			return 0, fmt.Errorf("%w: bulk reply missing terminator", ErrProtocol)
+			return 0, protoErrf("%w: bulk reply missing terminator", ErrProtocol)
 		}
 		rep.Str = rd.buf[p : p+int(n)]
 		return p + int(n) + 2 - rd.r, nil
@@ -286,11 +308,11 @@ func (rd *Reader) parseReply(rep *Reply) (int, error) {
 			return 0, err
 		}
 		if n < 0 || n > MaxArray {
-			return 0, fmt.Errorf("%w: array length %d out of range", ErrProtocol, n)
+			return 0, protoErrf("%w: array length %d out of range", ErrProtocol, n)
 		}
 		rep.Int = n
 		return next - rd.r, nil
 	default:
-		return 0, fmt.Errorf("%w: unknown reply type %q", ErrProtocol, rep.Kind)
+		return 0, protoErrf("%w: unknown reply type %q", ErrProtocol, rep.Kind)
 	}
 }

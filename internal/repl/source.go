@@ -431,6 +431,7 @@ func (c *srcConn) countRange(g uint64, i int, start, limit int64) (int, bool) {
 // ship sends every written byte between the sender's cursor and the
 // frontier snapshot, rotating generations as needed. It reports whether
 // anything was sent.
+//spectm:noalloc
 func (c *srcConn) ship(cur *wal.Cursor) (bool, error) {
 	progressed := false
 	for c.gen < cur.Gen {
@@ -473,6 +474,7 @@ func (c *srcConn) ship(cur *wal.Cursor) (bool, error) {
 // shipRange streams shard i of the sender's generation up to limit, in
 // BATCH frames of at most maxBatch bytes. Frames need not end on record
 // boundaries — the replica reassembles.
+//spectm:noalloc
 func (c *srcConn) shipRange(i int, limit int64) (bool, error) {
 	if c.offs[i] >= limit {
 		return false, nil
@@ -518,6 +520,10 @@ func (c *srcConn) path(gen uint64, shard int) string {
 }
 
 // file returns the open handle for the sender's generation of shard i.
+// Handles (and the table holding them) are opened once per generation,
+// then reused for every subsequent ship.
+//
+//spectm:coldpath
 func (c *srcConn) file(i int) (*os.File, error) {
 	if c.files == nil {
 		c.files = make([]*os.File, len(c.offs))
@@ -542,6 +548,10 @@ func (c *srcConn) closeFiles() {
 	}
 }
 
+// growBuf returns a scratch buffer of n bytes, growing the reusable
+// backing array only when the high-water mark rises.
+//
+//spectm:coldpath
 func (c *srcConn) growBuf(n int) []byte {
 	if cap(c.buf) < n {
 		c.buf = make([]byte, n)

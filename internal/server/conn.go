@@ -116,60 +116,13 @@ func (c *conn) execute(args [][]byte) {
 	cmd, args := args[0], args[1:]
 	switch {
 	case proto.CmdEq(cmd, "GET"):
-		if len(args) != 1 {
-			c.wr.Error("ERR wrong number of arguments for 'GET'")
-			return
-		}
-		if v, ok := c.th.Get(bstr(args[0])); ok {
-			c.wr.Uint(v.Uint())
-		} else {
-			c.wr.Null()
-		}
+		c.getCmd(args)
 	case proto.CmdEq(cmd, "SET"):
-		if len(args) != 2 {
-			c.wr.Error("ERR wrong number of arguments for 'SET'")
-			return
-		}
-		if !c.writable() {
-			return
-		}
-		v, ok := parseVal(args[1])
-		if !ok {
-			c.wr.Error("ERR value is not an integer in [0, 2^62)")
-			return
-		}
-		if !c.th.Update(bstr(args[0]), v) {
-			// First write to this key: clone it out of the read buffer
-			// and publish a fresh node. (A concurrent insert between
-			// the Update miss and this Put just turns it back into an
-			// update, which is fine — the clone is then garbage.)
-			c.th.Put(strings.Clone(bstr(args[0])), v)
-		}
-		c.wr.SimpleString("OK")
+		c.setCmd(args)
 	case proto.CmdEq(cmd, "DEL"):
-		if len(args) != 1 {
-			c.wr.Error("ERR wrong number of arguments for 'DEL'")
-			return
-		}
-		if !c.writable() {
-			return
-		}
-		c.boolReply(c.th.Delete(bstr(args[0])))
+		c.delCmd(args)
 	case proto.CmdEq(cmd, "CAS"):
-		if len(args) != 3 {
-			c.wr.Error("ERR wrong number of arguments for 'CAS'")
-			return
-		}
-		if !c.writable() {
-			return
-		}
-		old, ok1 := parseVal(args[1])
-		new, ok2 := parseVal(args[2])
-		if !ok1 || !ok2 {
-			c.wr.Error("ERR value is not an integer in [0, 2^62)")
-			return
-		}
-		c.boolReply(c.th.CompareAndSwap(bstr(args[0]), old, new))
+		c.casCmd(args)
 	case proto.CmdEq(cmd, "SWAP2"):
 		if len(args) != 2 {
 			c.wr.Error("ERR wrong number of arguments for 'SWAP2'")
@@ -212,6 +165,79 @@ func (c *conn) execute(args [][]byte) {
 	default:
 		c.wr.Error(fmt.Sprintf("ERR unknown command '%s'", cmd))
 	}
+}
+
+// getCmd answers GET: the steady-state read path must not allocate.
+//
+//spectm:noalloc
+func (c *conn) getCmd(args [][]byte) {
+	if len(args) != 1 {
+		c.wr.Error("ERR wrong number of arguments for 'GET'")
+		return
+	}
+	if v, ok := c.th.Get(bstr(args[0])); ok {
+		c.wr.Uint(v.Uint())
+	} else {
+		c.wr.Null()
+	}
+}
+
+// setCmd answers SET. The update fast path is allocation-free; a first
+// write to a key deliberately clones it out of the read buffer (the
+// only retention in the hot commands).
+//
+//spectm:noalloc
+func (c *conn) setCmd(args [][]byte) {
+	if len(args) != 2 {
+		c.wr.Error("ERR wrong number of arguments for 'SET'")
+		return
+	}
+	if !c.writable() {
+		return
+	}
+	v, ok := parseVal(args[1])
+	if !ok {
+		c.wr.Error("ERR value is not an integer in [0, 2^62)")
+		return
+	}
+	if !c.th.Update(bstr(args[0]), v) {
+		// First write to this key: clone it out of the read buffer
+		// and publish a fresh node. (A concurrent insert between
+		// the Update miss and this Put just turns it back into an
+		// update, which is fine — the clone is then garbage.)
+		c.th.Put(strings.Clone(bstr(args[0])), v)
+	}
+	c.wr.SimpleString("OK")
+}
+
+//spectm:noalloc
+func (c *conn) delCmd(args [][]byte) {
+	if len(args) != 1 {
+		c.wr.Error("ERR wrong number of arguments for 'DEL'")
+		return
+	}
+	if !c.writable() {
+		return
+	}
+	c.boolReply(c.th.Delete(bstr(args[0])))
+}
+
+//spectm:noalloc
+func (c *conn) casCmd(args [][]byte) {
+	if len(args) != 3 {
+		c.wr.Error("ERR wrong number of arguments for 'CAS'")
+		return
+	}
+	if !c.writable() {
+		return
+	}
+	old, ok1 := parseVal(args[1])
+	new, ok2 := parseVal(args[2])
+	if !ok1 || !ok2 {
+		c.wr.Error("ERR value is not an integer in [0, 2^62)")
+		return
+	}
+	c.boolReply(c.th.CompareAndSwap(bstr(args[0]), old, new))
 }
 
 func (c *conn) boolReply(ok bool) {

@@ -29,7 +29,10 @@ func (x *Thread) maybeGrow(sh *shard) {
 }
 
 // grow doubles sh's table and migrates every bucket. The caller holds
-// sh.mu.
+// sh.mu. The work (and its allocation) is amortized across the inserts
+// that raised the load factor.
+//
+//spectm:coldpath
 func (x *Thread) grow(sh *shard, old *table) {
 	nt := x.m.newTable(2 * len(old.buckets))
 	sh.state.Store(&tables{cur: nt, old: old})

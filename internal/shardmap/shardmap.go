@@ -350,6 +350,7 @@ func (x *Thread) search(sh *shard, tb *table, h uint64, key string) (prev core.V
 // Get returns the value stored for key. The (liveness, value) pair is
 // read with one 2-location read-only short transaction, so a concurrent
 // update, removal or migration can never produce a torn observation.
+//spectm:noalloc
 func (x *Thread) Get(key string) (Value, bool) {
 	v, ok := x.get(key)
 	count(&x.ops.gets, &x.ops.getHits, ok)
@@ -388,6 +389,7 @@ func (x *Thread) get(key string) (Value, bool) {
 // short transaction that re-validates the node's liveness link while the
 // value word is locked and rewritten; inserts publish a fresh arena node
 // with a single-location CAS on the predecessor link.
+//spectm:noalloc
 func (x *Thread) Put(key string, val Value) bool {
 	h := x.m.hash(key)
 	sh := x.m.shardOf(h)
@@ -413,6 +415,7 @@ func (x *Thread) Put(key string, val Value) bool {
 // Unlike Put, Update never retains key, so callers that parse keys out
 // of reused I/O buffers can pass a zero-copy view and only fall back to
 // cloning the key for a real insert.
+//spectm:noalloc
 func (x *Thread) Update(key string, val Value) bool {
 	h := x.m.hash(key)
 	ok := x.update(h, key, val)
@@ -499,6 +502,7 @@ func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *aren
 // paper's §3 mark-and-unlink as one 2-location short read-write
 // transaction: the node's own link is marked (so concurrent walkers
 // restart) in the same commit that splices it out of the chain.
+//spectm:noalloc
 func (x *Thread) Delete(key string) bool {
 	h := x.m.hash(key)
 	ok := x.del(h, key)
@@ -546,6 +550,7 @@ func (x *Thread) del(h uint64, key string) bool {
 // of (liveness link, value), an upgrade of the value entry, and a
 // combined commit that validates the link under the write lock. It
 // returns false when the key is absent or holds a different value.
+//spectm:noalloc
 func (x *Thread) CompareAndSwap(key string, old, new Value) bool {
 	h := x.m.hash(key)
 	ok := x.cas(h, key, old, new)

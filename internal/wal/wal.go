@@ -314,6 +314,7 @@ func (l *Log) SwapHalf(shard int, key string, val uint64) {
 	l.append(shard, OpSwapHalf, key, val, "", 0)
 }
 
+//spectm:noalloc
 func (l *Log) append(shard int, op byte, k1 string, v1 uint64, k2 string, v2 uint64) {
 	if l.closed.Load() {
 		return
@@ -488,6 +489,7 @@ func (l *Log) gatherWrite(force bool, lastSync *time.Time) {
 		// round whose batchSeq snapshot was below its seq and traffic
 		// then quiesces — no later round would ever broadcast.
 		if p.kind == kindAlways {
+			//lint:ignore walorder records below batchSeq were fsynced by earlier rounds: unsynced==0 proves no written byte awaits sync
 			l.advanceDurable(batchSeq)
 		}
 		return
