@@ -93,6 +93,40 @@ func TestMarkdownWarnsMissingAndExtra(t *testing.T) {
 	}
 }
 
+// TestStrictCoversCCNamespace pins that the comparison and the -strict
+// warning lines are namespace-generic: cc/* records (the concurrency-
+// control figure) gate and warn exactly like the older namespaces.
+func TestStrictCoversCCNamespace(t *testing.T) {
+	base, baseOrder := mk(
+		figures.BenchRecord{Name: "cc/ext/read-heavy/zipf", Threads: 4, OpsPerSec: 1_000_000, AllocsPerOp: 0},
+		figures.BenchRecord{Name: "cc/eager/write-heavy/uniform", Threads: 4, OpsPerSec: 800_000, AllocsPerOp: 0},
+	)
+	cur, curOrder := mk(
+		figures.BenchRecord{Name: "cc/ext/read-heavy/zipf", Threads: 4, OpsPerSec: 500_000, AllocsPerOp: 0}, // -50%: fail
+		figures.BenchRecord{Name: "cc/lazy/read-heavy/zipf", Threads: 4, OpsPerSec: 900_000, AllocsPerOp: 0},
+	)
+	rows := compare(base, baseOrder, cur, curOrder, 0.20, 0.02, 0)
+	got := map[string]row{}
+	for _, r := range rows {
+		got[r.k.Name] = r
+	}
+	if r := got["cc/ext/read-heavy/zipf"]; !r.failing {
+		t.Errorf("cc/* regression must gate: %+v", r)
+	}
+	md := markdown(rows, 0.20)
+	for _, want := range []string{
+		"cc/eager/write-heavy/uniform@4", // missing warning
+		"cc/lazy/read-heavy/zipf@4",      // new-point warning
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("warning lines missing %q:\n%s", want, md)
+		}
+	}
+	if _, _, _, exit := verdict(rows, true); !exit {
+		t.Errorf("-strict must fail on cc/* missing/extra points")
+	}
+}
+
 func TestMarkdownNoWarningsWhenAligned(t *testing.T) {
 	base, baseOrder := mk(figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 100})
 	cur, curOrder := mk(figures.BenchRecord{Name: "a", Threads: 1, OpsPerSec: 101})

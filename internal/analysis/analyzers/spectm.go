@@ -116,8 +116,16 @@ const (
 	evUpgrade           // RO → combined: lock on success, released on failure
 	evValid             // validation: released when it reports false
 	evTerminal          // Commit/Abort/Discard/ShortDiscard: txn closed
+	evSnapshot          // SnapshotBegin/SnapshotRead: multi-version read, state-neutral
 )
 
+// The terminal set is policy-independent by construction: every
+// concurrency-control policy (timestamp extension, lazy, eager — see
+// core.CC) funnels through the same descriptor Commit/Abort surface,
+// and the eager policy's extra release-on-abort work happens inside
+// those same calls. Snapshot reads never join a read set or take
+// locks, so they get their own state-neutral event instead of falling
+// through unrecognized.
 var (
 	thrOpenLockRe = regexp.MustCompile(`^(ShortRW[1-4]|RWRead1)$`)
 	thrOpenRORe   = regexp.MustCompile(`^(ShortRO[1-4]|RORead1)$`)
@@ -125,6 +133,7 @@ var (
 	thrTermRe     = regexp.MustCompile(`^(RWCommit[1-4]|RWAbort[1-4]|CommitRO[1-4]RW[1-4]|ShortDiscard)$`)
 	thrValidRe    = regexp.MustCompile(`^(RWValid[1-4]|ROValid[1-4])$`)
 	thrUpgradeRe  = regexp.MustCompile(`^UpgradeRO[1-4]ToRW[1-4]$`)
+	thrSnapRe     = regexp.MustCompile(`^(SnapshotBegin|SnapshotRead)$`)
 	descUpgradeRe = regexp.MustCompile(`^Upgrade[1-4]?$`)
 )
 
@@ -164,6 +173,8 @@ func classifyTxnCall(info *types.Info, call *ast.CallExpr) txnEvent {
 			return evValid
 		case thrUpgradeRe.MatchString(name):
 			return evUpgrade
+		case thrSnapRe.MatchString(name):
+			return evSnapshot
 		}
 	}
 	return evNone

@@ -16,7 +16,13 @@ import (
 //
 // The analysis understands the engine's self-releasing calls: a false
 // Valid(), a failed Upgrade and a combined Commit all release the locks
-// themselves, so `if !d.Valid() { continue }` is a closed path. A
+// themselves, so `if !d.Valid() { continue }` is a closed path. These
+// rules hold under every concurrency-control policy (core.CC): the
+// policies change how conflicts are detected, not which calls decide a
+// transaction. Snapshot reads (Thr.SnapshotBegin / Thr.SnapshotRead)
+// are state-neutral — they neither open nor close anything — but
+// running one while a lock-holding short transaction is undecided
+// stalls conflicting writers on the history search and is flagged. A
 // deferred Abort/Discard exempts the function's return paths. Functions
 // using goto or labeled branches are skipped. The defining package
 // (internal/core) is exempt — it manipulates the underlying records
@@ -42,6 +48,9 @@ func runTxnpath(pass *analysis.Pass) error {
 			}
 			t.onOpenWhileLock = func(pos token.Pos) {
 				pass.Reportf(pos, "%s: short transaction opened while a lock-holding one is still undecided", name)
+			}
+			t.onSnapWhileLock = func(pos token.Pos) {
+				pass.Reportf(pos, "%s: snapshot read while a lock-holding short transaction is still undecided", name)
 			}
 			t.analyze(body)
 		})

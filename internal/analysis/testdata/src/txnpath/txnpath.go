@@ -54,7 +54,31 @@ func doubleOpen(t *core.Thr, a, b core.Var) {
 	d.Commit(v)
 }
 
+func snapUnderLock(t *core.Thr, a, b core.Var, at uint64) {
+	d, v := t.ShortRW1(a)
+	sv, _ := t.SnapshotRead(b, at) // want "snapshot read while a lock-holding short transaction is still undecided"
+	d.Commit(v + sv)
+}
+
+func snapBeginUnderLock(t *core.Thr, a core.Var) {
+	d, v := t.ShortRW1(a)
+	_ = t.SnapshotBegin() // want "snapshot read while a lock-holding short transaction is still undecided"
+	d.Commit(v)
+}
+
 // ---- legal idioms ----
+
+// Snapshot reads are state-neutral: no transaction to leak, and mixing
+// them with read-only short transactions is fine.
+func okSnapshot(t *core.Thr, a, b core.Var) core.Value {
+	at := t.SnapshotBegin()
+	v, ok := t.SnapshotRead(a, at)
+	if !ok {
+		_, w := t.ShortRO1(b)
+		return w
+	}
+	return v
+}
 
 func okCommit(t *core.Thr, a, b core.Var) {
 	d, v1, v2 := t.ShortRW2(a, b)

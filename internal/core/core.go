@@ -89,6 +89,59 @@ func (c ClockMode) String() string {
 	return "l"
 }
 
+// CC selects the concurrency-control policy: how full (and short
+// read-only) transactions acquire write ownership and keep their read
+// sets consistent. Policies are specialized at engine construction into
+// monomorphized read/commit paths — there is no interface dispatch on
+// the hot path. CC subsumes the older Clock/ValNoCounter knobs: setting
+// those legacy fields is normalized into the equivalent policy (and vice
+// versa), so both surfaces always describe one effective protocol.
+type CC uint8
+
+const (
+	// CCTimestampExt (the default) is the engine's original protocol:
+	// commit-time (lazy) lock acquisition, invisible readers, and
+	// TL2-style timebase extension — a read that observes a version
+	// newer than the transaction's snapshot revalidates the read set
+	// against a fresh snapshot instead of aborting.
+	CCTimestampExt CC = iota
+	// CCLazy is classic TL2: lazy acquisition and invisible readers,
+	// but no extension — a read that observes a post-snapshot version
+	// aborts immediately. Cheaper validation under low contention,
+	// more aborts under clock pressure.
+	CCLazy
+	// CCEager acquires write locks at encounter time (TxWrite) instead
+	// of commit time. Writers become visible early, which resolves
+	// write/write conflicts immediately at the cost of longer lock hold
+	// times. Reads keep timebase extension. Requires ClockGlobal.
+	CCEager
+	// CCLocal is the per-location-version policy previously selected by
+	// WithClock(ClockLocal): no global counter, read-set validation
+	// after every read (per-thread commit counters in the val layout).
+	CCLocal
+	// CCNoCounter, for LayoutVal only, is value-based validation
+	// without commit counters — previously WithValNoCounter. Sound only
+	// under the paper's §2.4 special cases (non-re-use of memory).
+	CCNoCounter
+)
+
+// String implements fmt.Stringer for variant labels.
+func (c CC) String() string {
+	switch c {
+	case CCTimestampExt:
+		return "ext"
+	case CCLazy:
+		return "lazy"
+	case CCEager:
+		return "eager"
+	case CCLocal:
+		return "local"
+	case CCNoCounter:
+		return "nocounter"
+	}
+	return "unknown"
+}
+
 // MaxShort is the largest number of locations a short transaction may
 // access. The paper uses four and notes the limit "can be increased in a
 // straightforward manner" (§2.2).
@@ -120,7 +173,22 @@ type Config struct {
 	// val-full variants measure. When false, validation additionally
 	// consults per-thread commit counters (after Dalessandro et al.),
 	// making general transactions safe.
+	//
+	// Deprecated: set CC to CCNoCounter instead. The field remains the
+	// normalization target so layout-specific code keys off one flag.
 	ValNoCounter bool
+
+	// CC selects the concurrency-control policy. The zero value
+	// (CCTimestampExt) is the engine's original protocol; legacy
+	// Clock/ValNoCounter settings are folded into the equivalent policy
+	// by normalization, see withDefaults.
+	CC CC
+
+	// Snapshots allocates the multi-version history ring that backs
+	// Thr.SnapshotRead. Requires a versioned layout (orec or tvar) and
+	// the global timebase; costs one predictable branch per commit when
+	// disabled and a bounded ring write per published word when enabled.
+	Snapshots bool
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +197,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxThreads == 0 {
 		c.MaxThreads = 128
+	}
+	// Fold the legacy Clock/ValNoCounter knobs and the CC policy into
+	// one another, so internal code can branch on whichever field is
+	// closest to the mechanism (cfg.Clock for versioned word handling,
+	// cfg.ValNoCounter for the val layout, cfg.CC for policy dispatch).
+	if c.CC == CCTimestampExt {
+		switch {
+		case c.Clock == ClockLocal:
+			c.CC = CCLocal
+		case c.ValNoCounter && c.Layout == LayoutVal:
+			c.CC = CCNoCounter
+		}
+	}
+	switch c.CC {
+	case CCLocal:
+		c.Clock = ClockLocal
+	case CCNoCounter:
+		c.ValNoCounter = true
 	}
 	return c
 }
@@ -154,6 +240,23 @@ func (c Config) Validate() error {
 	if c.MaxThreads < 0 {
 		return fmt.Errorf("core: MaxThreads %d is negative", c.MaxThreads)
 	}
+	if c.CC > CCNoCounter {
+		return fmt.Errorf("core: unknown concurrency-control policy %d", c.CC)
+	}
+	if c.CC == CCNoCounter && c.Layout != LayoutVal {
+		return fmt.Errorf("core: CCNoCounter requires LayoutVal (value-based validation)")
+	}
+	if (c.CC == CCLazy || c.CC == CCEager) && c.Clock == ClockLocal {
+		return fmt.Errorf("core: %v requires the global timebase, not ClockLocal (use CCLocal)", c.CC)
+	}
+	if c.Snapshots {
+		if c.Layout == LayoutVal {
+			return fmt.Errorf("core: Snapshots require a versioned layout (orec or tvar)")
+		}
+		if c.Clock == ClockLocal || c.CC == CCLocal {
+			return fmt.Errorf("core: Snapshots require the global timebase")
+		}
+	}
 	return nil
 }
 
@@ -162,13 +265,51 @@ func (c Config) Validate() error {
 // created against that Engine.
 type Engine struct {
 	cfg      Config
-	orecs    []uint64 // LayoutOrec only
+	rp       rpath      // monomorphized read/validate path (from cfg)
+	eager    bool       // CCEager: encounter-time write locking
+	snap     *snapTable // multi-version history ring; nil when disabled
+	orecs    []uint64   // LayoutOrec only
 	orecMask uint64
 	global   clock.Global
 	local    *clock.PerThread
 	nextThr  atomic.Int32
 	nextID   atomic.Uint64 // identity source for standalone vars
 	epochDom *epoch.Domain
+}
+
+// rpath is the engine's specialized read/validate path, computed once at
+// construction from the layout, clock and CC policy. Hot-path dispatch
+// is a switch on this byte to statically-known functions — the "per
+// policy monomorphized paths" that replace interface dispatch.
+type rpath uint8
+
+const (
+	rpVerExt   rpath = iota // versioned words, global clock, timebase extension
+	rpVerLazy               // versioned words, global clock, abort on stale read
+	rpVerLocal              // versioned words, per-orec versions, validate per read
+	rpValCnt                // val layout, value validation with commit counters
+	rpValNoCnt              // val layout, pure value validation
+)
+
+// protoPaths derives the dispatch code and eager flag from a normalized
+// configuration.
+func protoPaths(cfg Config) (rpath, bool) {
+	var rp rpath
+	switch {
+	case cfg.Layout == LayoutVal:
+		if cfg.ValNoCounter {
+			rp = rpValNoCnt
+		} else {
+			rp = rpValCnt
+		}
+	case cfg.Clock == ClockLocal:
+		rp = rpVerLocal
+	case cfg.CC == CCLazy:
+		rp = rpVerLazy
+	default:
+		rp = rpVerExt
+	}
+	return rp, cfg.CC == CCEager
 }
 
 // New creates an engine, panicking on an invalid configuration. Use
@@ -193,6 +334,10 @@ func NewChecked(cfg Config) (*Engine, error) {
 		local:    clock.NewPerThread(cfg.MaxThreads),
 		epochDom: epoch.NewDomain(cfg.MaxThreads),
 	}
+	e.rp, e.eager = protoPaths(cfg)
+	if cfg.Snapshots {
+		e.snap = newSnapTable()
+	}
 	if cfg.Layout == LayoutOrec {
 		n := uint64(1) << cfg.OrecBits
 		e.orecs = make([]uint64, n)
@@ -200,6 +345,10 @@ func NewChecked(cfg Config) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// SnapshotsEnabled reports whether the engine maintains the version
+// history that backs Thr.SnapshotRead.
+func (e *Engine) SnapshotsEnabled() bool { return e.snap != nil }
 
 // Config returns the engine's effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -257,11 +406,13 @@ func (e *Engine) NewVar(v Value) Var {
 
 // Stats counts per-thread transaction outcomes.
 type Stats struct {
-	Commits      uint64 // full-transaction commits
-	Aborts       uint64 // full-transaction aborts (conflicts)
-	ShortCommits uint64 // short-transaction commits (incl. RO validations)
-	ShortAborts  uint64 // short-transaction conflicts
-	Singles      uint64 // single-location transactions
+	Commits       uint64 // full-transaction commits
+	Aborts        uint64 // full-transaction aborts (conflicts)
+	ShortCommits  uint64 // short-transaction commits (incl. RO validations)
+	ShortAborts   uint64 // short-transaction conflicts
+	Singles       uint64 // single-location transactions
+	SnapshotReads uint64 // SnapshotRead calls
+	SnapshotMiss  uint64 // SnapshotRead history misses (caller retries)
 }
 
 // Add accumulates other into s.
@@ -271,6 +422,8 @@ func (s *Stats) Add(o Stats) {
 	s.ShortCommits += o.ShortCommits
 	s.ShortAborts += o.ShortAborts
 	s.Singles += o.Singles
+	s.SnapshotReads += o.SnapshotReads
+	s.SnapshotMiss += o.SnapshotMiss
 }
 
 // Thr is a registered thread: the per-thread transaction descriptor of
@@ -281,6 +434,8 @@ type Thr struct {
 	e     *Engine
 	id    int    // 0-based thread index
 	owner uint64 // id+1; appears in lock words
+	rp    rpath  // engine's read path, cached for hot-path dispatch
+	eager bool   // engine's CCEager flag, cached
 	// Epoch is the thread's reclamation slot, shared with the data
 	// structures built over the engine.
 	Epoch *epoch.Slot
@@ -303,6 +458,8 @@ func (e *Engine) Register() *Thr {
 		e:     e,
 		id:    id,
 		owner: uint64(id) + 1,
+		rp:    e.rp,
+		eager: e.eager,
 		Epoch: e.epochDom.Register(),
 		Rng:   rng.New(uint64(id)*0x9e3779b97f4a7c15 + 1),
 	}

@@ -62,13 +62,11 @@ func (t *Thr) beginShort() {
 	s.valid = true
 	s.done = false
 	s.nr, s.nw = 0, 0
-	switch {
-	case t.e.cfg.Layout == LayoutVal:
-		if !t.e.cfg.ValNoCounter {
-			s.snap = t.e.stableSum()
-		}
-	case t.e.cfg.Clock == ClockGlobal:
+	switch t.rp {
+	case rpVerExt, rpVerLazy:
 		s.snap = t.e.global.Read()
+	case rpValCnt:
+		s.snap = t.e.stableSum()
 	}
 }
 
@@ -204,6 +202,12 @@ func (t *Thr) publishAndRelease(n int, vals [MaxShort]Value) {
 	if t.e.cfg.Clock == ClockGlobal {
 		wv = t.e.global.Tick()
 	}
+	if st := t.e.snap; st != nil {
+		// Record overwritten values while the locks are still held.
+		for i := 0; i < n; i++ {
+			st.record(s.wData[i], vlock.Version(s.wSeen[i]), wv, atomic.LoadUint64(s.wData[i]))
+		}
+	}
 	for i := 0; i < n; i++ {
 		atomic.StoreUint64(s.wData[i], uint64(vals[i]))
 	}
@@ -251,10 +255,19 @@ func (t *Thr) shortRORead(i int, v Var) Value {
 		panic(fmt.Sprintf("core: RO read index %d out of order (next is %d)", i+1, s.nr+1))
 	}
 	t.debugCheckRORead(v)
-	if v.meta != nil {
-		return t.shortROReadVersioned(i, v)
+	// Monomorphized dispatch on the policy path fixed at Register.
+	switch t.rp {
+	case rpVerExt:
+		return t.shortROReadVerExt(i, v)
+	case rpVerLazy:
+		return t.shortROReadVerLazy(i, v)
+	case rpVerLocal:
+		return t.shortROReadVerLocal(i, v)
+	case rpValCnt:
+		return t.shortROReadValCnt(i, v)
+	default:
+		return t.shortROReadValNoCnt(i, v)
 	}
-	return t.shortROReadVal(i, v)
 }
 
 // roSpinBudget bounds waiting on a locked location before declaring a
@@ -262,7 +275,11 @@ func (t *Thr) shortRORead(i int, v Var) Value {
 // spin avoids gratuitous restarts.
 const roSpinBudget = 64
 
-func (t *Thr) shortROReadVersioned(i int, v Var) Value {
+// shortROReadVerExt: global clock with TL2 timebase extension
+// (CCTimestampExt/CCEager): a version newer than the snapshot forces
+// revalidation of everything read so far, after which the snapshot may
+// be advanced.
+func (t *Thr) shortROReadVerExt(i int, v Var) Value {
 	s := &t.short
 	var m1, d uint64
 	for iter := 0; ; iter++ {
@@ -285,32 +302,115 @@ func (t *Thr) shortROReadVersioned(i int, v Var) Value {
 		}
 		spinWait(iter)
 	}
-	if t.e.cfg.Clock == ClockGlobal {
-		// TL2 with timebase extension: a version newer than the
-		// snapshot forces revalidation of everything read so far,
-		// after which the snapshot may be advanced.
-		if vlock.Version(m1) > s.snap {
-			newSnap := t.e.global.Read()
-			if !t.shortValidateROVersioned(i) {
-				t.failShort()
-				return 0
-			}
-			s.snap = newSnap
-		}
-	} else {
-		// Per-orec versions: validate the whole read set after every
-		// read to preserve opacity (§4.1 "local version numbers").
+	if vlock.Version(m1) > s.snap {
+		newSnap := t.e.global.Read()
 		if !t.shortValidateROVersioned(i) {
 			t.failShort()
 			return 0
 		}
+		s.snap = newSnap
 	}
 	s.rMeta[i], s.rData[i], s.rSeen[i] = v.meta, v.data, m1
 	s.nr = i + 1
 	return Value(d)
 }
 
-func (t *Thr) shortROReadVal(i int, v Var) Value {
+// shortROReadVerLazy: classic TL2 (CCLazy) — a post-snapshot version
+// aborts instead of extending.
+func (t *Thr) shortROReadVerLazy(i int, v Var) Value {
+	s := &t.short
+	var m1, d uint64
+	for iter := 0; ; iter++ {
+		m1 = vlock.Load(v.meta)
+		if vlock.IsLocked(m1) {
+			if iter >= roSpinBudget {
+				t.failShort()
+				return 0
+			}
+			spinWait(iter)
+			continue
+		}
+		d = atomic.LoadUint64(v.data)
+		if vlock.Load(v.meta) == m1 {
+			break
+		}
+		if iter >= roSpinBudget {
+			t.failShort()
+			return 0
+		}
+		spinWait(iter)
+	}
+	if vlock.Version(m1) > s.snap {
+		t.failShort()
+		return 0
+	}
+	s.rMeta[i], s.rData[i], s.rSeen[i] = v.meta, v.data, m1
+	s.nr = i + 1
+	return Value(d)
+}
+
+// shortROReadVerLocal: per-orec versions (CCLocal) — validate the whole
+// read set after every read to preserve opacity (§4.1 "local version
+// numbers").
+func (t *Thr) shortROReadVerLocal(i int, v Var) Value {
+	s := &t.short
+	var m1, d uint64
+	for iter := 0; ; iter++ {
+		m1 = vlock.Load(v.meta)
+		if vlock.IsLocked(m1) {
+			if iter >= roSpinBudget {
+				t.failShort()
+				return 0
+			}
+			spinWait(iter)
+			continue
+		}
+		d = atomic.LoadUint64(v.data)
+		if vlock.Load(v.meta) == m1 {
+			break
+		}
+		if iter >= roSpinBudget {
+			t.failShort()
+			return 0
+		}
+		spinWait(iter)
+	}
+	if !t.shortValidateROVersioned(i) {
+		t.failShort()
+		return 0
+	}
+	s.rMeta[i], s.rData[i], s.rSeen[i] = v.meta, v.data, m1
+	s.nr = i + 1
+	return Value(d)
+}
+
+// shortROReadValNoCnt: pure value validation (CCNoCounter) — the value
+// is recorded and revalidated wholesale at validation points.
+func (t *Thr) shortROReadValNoCnt(i int, v Var) Value {
+	s := &t.short
+	var w uint64
+	for iter := 0; ; iter++ {
+		w = atomic.LoadUint64(v.data)
+		if !word.Locked(w) {
+			break
+		}
+		if iter >= roSpinBudget {
+			t.failShort()
+			return 0
+		}
+		spinWait(iter)
+	}
+	s.rMeta[i], s.rData[i], s.rSeen[i] = nil, v.data, w
+	s.nr = i + 1
+	return Value(w)
+}
+
+// shortROReadValCnt: commit-counter guard (Dalessandro et al., §2.4):
+// the value is only accepted if it was loaded inside a window with no
+// commit activity since the snapshot. Otherwise revalidate previous
+// entries, extend the snapshot, and re-read — a value loaded before the
+// extension might itself be stale.
+func (t *Thr) shortROReadValCnt(i int, v Var) Value {
 	s := &t.short
 	var w uint64
 	for iter := 0; ; iter++ {
@@ -323,14 +423,6 @@ func (t *Thr) shortROReadVal(i int, v Var) Value {
 			spinWait(iter)
 			continue
 		}
-		if t.e.cfg.ValNoCounter {
-			break
-		}
-		// Commit-counter guard (Dalessandro et al., §2.4): the value is
-		// only accepted if it was loaded inside a window with no commit
-		// activity since the snapshot. Otherwise revalidate previous
-		// entries, extend the snapshot, and re-read — a value loaded
-		// before the extension might itself be stale.
 		if t.e.stableSum() == s.snap {
 			break
 		}
@@ -464,13 +556,12 @@ func (t *Thr) shortROValid(n int) bool {
 		n = s.nr
 	}
 	var ok bool
-	if t.e.cfg.Layout == LayoutVal {
-		if t.e.cfg.ValNoCounter {
-			ok = t.shortValidateROVal(n)
-		} else {
-			ok = t.valExtend(n)
-		}
-	} else {
+	switch t.rp {
+	case rpValNoCnt:
+		ok = t.shortValidateROVal(n)
+	case rpValCnt:
+		ok = t.valExtend(n)
+	default:
 		ok = t.shortValidateROVersioned(n)
 	}
 	if !ok {
@@ -560,13 +651,12 @@ func (t *Thr) shortCommitRORW(x, y int, vals [MaxShort]Value) bool {
 		panic(fmt.Sprintf("core: combined commit arity RO=%d but only %d reads", x, s.nr))
 	}
 	var ok bool
-	if t.e.cfg.Layout == LayoutVal {
-		if t.e.cfg.ValNoCounter {
-			ok = t.shortValidateROVal(x)
-		} else {
-			ok = t.shortValidateROValStable(x)
-		}
-	} else {
+	switch t.rp {
+	case rpValNoCnt:
+		ok = t.shortValidateROVal(x)
+	case rpValCnt:
+		ok = t.shortValidateROValStable(x)
+	default:
 		ok = t.shortValidateROVersioned(x)
 	}
 	if !ok {

@@ -1,0 +1,164 @@
+// Multi-version snapshot reads. When Config.Snapshots is set, every
+// versioned-word commit records the value it overwrites into a global
+// hash-indexed ring of the last K versions per slot. Thr.SnapshotRead
+// then serves "value of v as of timestamp S" without joining a read set
+// and without any validation abort:
+//
+//   - If the word is unlocked and its version is ≤ S, the current value
+//     IS the snapshot value: any commit that will overwrite it must
+//     Tick the global clock after S was read, so its write version is
+//     > S. (The word's lock is taken before the Tick, so a locked word
+//     is simply not decidable on this fast path.)
+//   - Otherwise the ring is consulted for an entry covering S.
+//   - On a miss the caller restarts its batch with a fresh S; with a
+//     fresh S every unlocked word passes the fast path again, so batch
+//     retries converge quickly. Bounded retries fall back to an
+//     ordinary full transaction.
+//
+// Writers record while still holding the word's lock, so the per-word
+// interval list [v0,v1),[v1,v2),… is written in order and the intervals
+// are disjoint. Slots are seqlock-protected: a writer spins for the slot
+// (critical section: four plain atomic stores), readers retry on any
+// seq change.
+//
+// Re-use (ABA) safety: callers must pin their epoch before taking S.
+// A node reclaimed and re-used can only have been retired before the
+// pin, and its unlink commit Ticked the clock before the retire, so any
+// of its old-life intervals end at or before S — they can never cover a
+// snapshot taken after the pin.
+//
+// The orec layout shares meta words between unrelated data words, so
+// the fast path's version check is conservative there (a neighbour's
+// commit can inflate the observed version); that only causes spurious
+// ring consults or misses, never a wrong value, because ring entries
+// are keyed by the data word's address.
+package core
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"spectm/internal/rng"
+	"spectm/internal/vlock"
+)
+
+const (
+	snapSlotBits = 13 // 8192 slots
+	snapRingK    = 4  // versions retained per slot
+)
+
+type snapEnt struct {
+	ptr  atomic.Uint64 // data word address (identity key)
+	from atomic.Uint64 // first version holding val (inclusive)
+	to   atomic.Uint64 // version that overwrote val (exclusive)
+	val  atomic.Uint64
+}
+
+type snapSlot struct {
+	seq  atomic.Uint64 // seqlock: odd = writer active; advances by 2 per record
+	ring [snapRingK]snapEnt
+}
+
+type snapTable struct {
+	slots []snapSlot
+	mask  uint64
+}
+
+func newSnapTable() *snapTable {
+	return &snapTable{
+		slots: make([]snapSlot, 1<<snapSlotBits),
+		mask:  1<<snapSlotBits - 1,
+	}
+}
+
+func (st *snapTable) slotOf(data *uint64) *snapSlot {
+	return &st.slots[rng.Mix(uint64(uintptr(unsafe.Pointer(data))))&st.mask]
+}
+
+// record logs that data held old for the version interval [from, to).
+// The caller must still hold data's write lock, which orders the records
+// of any one word. Writers for distinct words can collide on a slot, so
+// the seqlock doubles as the slot's mutual exclusion.
+func (st *snapTable) record(data *uint64, from, to, old uint64) {
+	sl := st.slotOf(data)
+	var s uint64
+	for iter := 0; ; iter++ {
+		s = sl.seq.Load()
+		if s&1 == 0 && sl.seq.CompareAndSwap(s, s+1) {
+			break
+		}
+		spinWait(iter)
+	}
+	e := &sl.ring[(s>>1)&(snapRingK-1)]
+	e.ptr.Store(uint64(uintptr(unsafe.Pointer(data))))
+	e.from.Store(from)
+	e.to.Store(to)
+	e.val.Store(old)
+	sl.seq.Store(s + 2)
+}
+
+// lookup returns data's value at timestamp at, if the ring still covers
+// that version interval.
+func (st *snapTable) lookup(data *uint64, at uint64) (Value, bool) {
+	sl := st.slotOf(data)
+	p := uint64(uintptr(unsafe.Pointer(data)))
+	for tries := 0; tries < 8; tries++ {
+		s1 := sl.seq.Load()
+		if s1&1 != 0 {
+			spinWait(tries)
+			continue
+		}
+		var val uint64
+		found := false
+		for i := range sl.ring {
+			e := &sl.ring[i]
+			if e.ptr.Load() != p {
+				continue
+			}
+			// Intervals of one word are disjoint: at most one covers at.
+			if f, to := e.from.Load(), e.to.Load(); f <= at && at < to {
+				val = e.val.Load()
+				found = true
+				break
+			}
+		}
+		if sl.seq.Load() != s1 {
+			continue // raced a writer; entries may have been torn
+		}
+		return Value(val), found
+	}
+	return 0, false
+}
+
+// SnapshotBegin returns a snapshot timestamp for SnapshotRead. The
+// caller must have its epoch pinned (Epoch.Enter) before calling and
+// keep it pinned across every SnapshotRead against the timestamp; the
+// pin is what makes re-used memory's stale history undecodable (see the
+// package comment above).
+func (t *Thr) SnapshotBegin() uint64 {
+	if t.e.snap == nil {
+		panic("core: SnapshotBegin without Config.Snapshots (versioned layout, global timebase)")
+	}
+	return t.e.global.Read()
+}
+
+// SnapshotRead returns v's value as of the timestamp at (obtained from
+// SnapshotBegin). It never joins a read set and never validation-aborts.
+// ok=false means the history ring no longer covers v at that timestamp;
+// the caller should restart its batch with a fresh SnapshotBegin, or
+// fall back to a full transaction after bounded retries.
+func (t *Thr) SnapshotRead(v Var, at uint64) (Value, bool) {
+	t.Stats.SnapshotReads++
+	m1 := vlock.Load(v.meta)
+	if !vlock.IsLocked(m1) && vlock.Version(m1) <= at {
+		d := atomic.LoadUint64(v.data)
+		if vlock.Load(v.meta) == m1 {
+			return Value(d), true
+		}
+	}
+	if val, ok := t.e.snap.lookup(v.data, at); ok {
+		return val, true
+	}
+	t.Stats.SnapshotMiss++
+	return 0, false
+}

@@ -65,13 +65,11 @@ func (t *Thr) TxStart() {
 	x.aborted = false
 	x.reads = x.reads[:0]
 	x.writes = x.writes[:0]
-	switch {
-	case t.e.cfg.Layout == LayoutVal:
-		if !t.e.cfg.ValNoCounter {
-			x.snap = t.e.stableSum()
-		}
-	case t.e.cfg.Clock == ClockGlobal:
+	switch t.rp {
+	case rpVerExt, rpVerLazy:
 		x.snap = t.e.global.Read()
+	case rpValCnt:
+		x.snap = t.e.stableSum()
 	}
 }
 
@@ -80,16 +78,36 @@ func (t *Thr) TxStart() {
 // fall through to TxCommit (which will fail) or restart.
 func (t *Thr) TxOK() bool { return t.txn.active && !t.txn.aborted }
 
-// txAbortNow marks the transaction dead after a conflict.
+// txAbortNow marks the transaction dead after a conflict. Under CCEager
+// the write set holds its locks during execution, so they are released
+// here.
 func (t *Thr) txAbortNow() {
+	if t.eager {
+		t.txReleaseEagerLocks()
+	}
 	t.txn.aborted = true
 	t.Stats.Aborts++
 }
 
+// txReleaseEagerLocks drops every encounter-time write lock and empties
+// the write set (idempotent).
+func (t *Thr) txReleaseEagerLocks() {
+	x := &t.txn
+	if t.e.cfg.Layout == LayoutVal {
+		t.txReleaseValLocks(len(x.writes))
+	} else {
+		t.txReleaseWriteLocks(len(x.writes))
+	}
+	x.writes = x.writes[:0]
+}
+
 // TxAbort abandons the transaction explicitly (user abort, the paper's
-// STM_ABORT_TX). No locks are held during execution (commit-time
-// locking), so this only resets state.
+// STM_ABORT_TX). Only CCEager holds locks during execution; they are
+// released before the reset.
 func (t *Thr) TxAbort() {
+	if t.eager && t.txn.active && !t.txn.aborted {
+		t.txReleaseEagerLocks()
+	}
 	t.txn.active = false
 	t.txn.aborted = true
 }
@@ -110,61 +128,115 @@ func (t *Thr) TxRead(v Var) Value {
 			return Value(x.writes[i].val)
 		}
 	}
-	if v.meta != nil {
-		return t.txReadVersioned(v)
+	// Monomorphized dispatch: t.rp is fixed at Register, each case is a
+	// direct call to a policy-specialized reader.
+	switch t.rp {
+	case rpVerExt:
+		return t.txReadVerExt(v)
+	case rpVerLazy:
+		return t.txReadVerLazy(v)
+	case rpVerLocal:
+		return t.txReadVerLocal(v)
+	case rpValCnt:
+		return t.txReadValCnt(v)
+	default:
+		return t.txReadValNoCnt(v)
 	}
-	return t.txReadVal(v)
 }
 
-func (t *Thr) txReadVersioned(v Var) Value {
-	x := &t.txn
-	var m1, d uint64
+// txPairRead performs the consistent meta/data pair read shared by the
+// versioned policies. Under CCEager a word can be locked by this very
+// transaction (through an orec shared with an earlier write); deferred
+// updates leave the data word untouched, so it reads through against
+// the recorded pre-lock meta.
+func (t *Thr) txPairRead(v Var) (m1, d uint64, ok bool) {
 	for iter := 0; ; iter++ {
 		m1 = vlock.Load(v.meta)
 		if vlock.IsLocked(m1) {
-			// Commit-time locking means we never hold this lock
-			// ourselves during execution; it belongs to a committing
-			// peer.
+			if t.eager && vlock.LockedBy(m1, t.owner) {
+				if seen := t.txOwnLockSeen(v.meta); seen != ^uint64(0) {
+					return seen, atomic.LoadUint64(v.data), true
+				}
+			}
 			if iter >= txnSpinBudget {
-				t.txAbortNow()
-				return 0
+				return 0, 0, false
 			}
 			spinWait(iter)
 			continue
 		}
 		d = atomic.LoadUint64(v.data)
 		if vlock.Load(v.meta) == m1 {
-			break
+			return m1, d, true
 		}
 		if iter >= txnSpinBudget {
-			t.txAbortNow()
-			return 0
+			return 0, 0, false
 		}
 		spinWait(iter)
 	}
+}
+
+// txReadVerExt: global clock with timebase extension (CCTimestampExt,
+// and the read side of CCEager).
+func (t *Thr) txReadVerExt(v Var) Value {
+	x := &t.txn
+	m1, d, ok := t.txPairRead(v)
+	if !ok {
+		t.txAbortNow()
+		return 0
+	}
 	x.reads = append(x.reads, rdEnt{meta: v.meta, data: v.data, seen: m1})
-	if t.e.cfg.Clock == ClockGlobal {
-		if vlock.Version(m1) > x.snap {
-			// Timebase extension: revalidate and move the snapshot.
-			newSnap := t.e.global.Read()
-			if !t.txValidateVersioned() {
-				t.txAbortNow()
-				return 0
-			}
-			x.snap = newSnap
-		}
-	} else {
-		// Local versions: opacity requires validating the whole read
-		// set after every read.
+	if vlock.Version(m1) > x.snap {
+		// Timebase extension: revalidate and move the snapshot.
+		newSnap := t.e.global.Read()
 		if !t.txValidateVersioned() {
 			t.txAbortNow()
 			return 0
 		}
+		x.snap = newSnap
 	}
 	return Value(d)
 }
 
-func (t *Thr) txReadVal(v Var) Value {
+// txReadVerLazy: classic TL2 (CCLazy) — a read that observes a version
+// newer than the start snapshot aborts instead of extending.
+func (t *Thr) txReadVerLazy(v Var) Value {
+	x := &t.txn
+	m1, d, ok := t.txPairRead(v)
+	if !ok {
+		t.txAbortNow()
+		return 0
+	}
+	if vlock.Version(m1) > x.snap {
+		t.txAbortNow()
+		return 0
+	}
+	x.reads = append(x.reads, rdEnt{meta: v.meta, data: v.data, seen: m1})
+	return Value(d)
+}
+
+// txReadVerLocal: per-orec versions (CCLocal) — opacity requires
+// validating the whole read set after every read.
+func (t *Thr) txReadVerLocal(v Var) Value {
+	x := &t.txn
+	m1, d, ok := t.txPairRead(v)
+	if !ok {
+		t.txAbortNow()
+		return 0
+	}
+	x.reads = append(x.reads, rdEnt{meta: v.meta, data: v.data, seen: m1})
+	if !t.txValidateVersioned() {
+		t.txAbortNow()
+		return 0
+	}
+	return Value(d)
+}
+
+// txReadValNoCnt: pure value validation (CCNoCounter). No counters at
+// all: opacity comes from validating the whole read set by value after
+// every read, which is only sound under §2.4's special cases
+// (non-re-use). This is the paper's val-full behavior — "read-set
+// validation costs incurred on each transactional read dominate".
+func (t *Thr) txReadValNoCnt(v Var) Value {
 	x := &t.txn
 	for iter := 0; ; iter++ {
 		w := atomic.LoadUint64(v.data)
@@ -176,18 +248,27 @@ func (t *Thr) txReadVal(v Var) Value {
 			spinWait(iter)
 			continue
 		}
-		if t.e.cfg.ValNoCounter {
-			// No counters at all: opacity comes from validating the
-			// whole read set by value after every read, which is only
-			// sound under §2.4's special cases (non-re-use). This is
-			// the paper's val-full behavior — "read-set validation
-			// costs incurred on each transactional read dominate".
-			x.reads = append(x.reads, rdEnt{data: v.data, seen: w})
-			if !t.txValidateVal(0) {
+		x.reads = append(x.reads, rdEnt{data: v.data, seen: w})
+		if !t.txValidateVal(t.valSelfOwner()) {
+			t.txAbortNow()
+			return 0
+		}
+		return Value(w)
+	}
+}
+
+// txReadValCnt: NOrec-style value validation with commit counters.
+func (t *Thr) txReadValCnt(v Var) Value {
+	x := &t.txn
+	for iter := 0; ; iter++ {
+		w := atomic.LoadUint64(v.data)
+		if word.Locked(w) {
+			if iter >= txnSpinBudget {
 				t.txAbortNow()
 				return 0
 			}
-			return Value(w)
+			spinWait(iter)
+			continue
 		}
 		cur := t.e.stableSum()
 		if cur != x.snap {
@@ -204,6 +285,16 @@ func (t *Thr) txReadVal(v Var) Value {
 	}
 }
 
+// valSelfOwner is the owner id value validation should accept for
+// self-locked words during execution: only CCEager holds write locks
+// before commit.
+func (t *Thr) valSelfOwner() uint64 {
+	if t.eager {
+		return t.owner
+	}
+	return 0
+}
+
 // txExtendVal revalidates the val-layout read set by value and advances
 // the counter snapshot, NOrec style.
 func (t *Thr) txExtendVal() bool {
@@ -213,7 +304,7 @@ func (t *Thr) txExtendVal() bool {
 		if cur == x.snap {
 			return true
 		}
-		if !t.txValidateVal(0) {
+		if !t.txValidateVal(t.valSelfOwner()) {
 			return false
 		}
 		if t.e.stableSum() == cur {
@@ -241,7 +332,52 @@ func (t *Thr) TxWrite(v Var, val Value) {
 			return
 		}
 	}
+	if t.eager {
+		t.txWriteEager(v, val)
+		return
+	}
 	x.writes = append(x.writes, wrEnt{meta: v.meta, data: v.data, val: uint64(val)})
+}
+
+// txWriteEager acquires v's write lock at encounter time (CCEager).
+// Writers become visible to peers immediately; a conflict that outlasts
+// the spin budget aborts the transaction (deadlock avoidance: bounded
+// wait plus the caller's randomized backoff).
+func (t *Thr) txWriteEager(v Var, val Value) {
+	x := &t.txn
+	if v.meta != nil {
+		if j := t.ownWriteLock(v.meta, len(x.writes)); j >= 0 {
+			// Orec shared with an earlier write: alias its lock.
+			x.writes = append(x.writes, wrEnt{meta: v.meta, data: v.data, val: uint64(val), lockSeen: x.writes[j].lockSeen, dup: true})
+			return
+		}
+		for iter := 0; iter < txnSpinBudget; iter++ {
+			m := vlock.Load(v.meta)
+			if vlock.IsLocked(m) {
+				spinWait(iter)
+				continue
+			}
+			if vlock.TryLock(v.meta, m, t.owner) {
+				x.writes = append(x.writes, wrEnt{meta: v.meta, data: v.data, val: uint64(val), lockSeen: m})
+				return
+			}
+		}
+		t.txAbortNow()
+		return
+	}
+	// Val layout: the lock bit lives in the data word itself.
+	for iter := 0; iter < txnSpinBudget; iter++ {
+		cur := atomic.LoadUint64(v.data)
+		if word.Locked(cur) {
+			spinWait(iter)
+			continue
+		}
+		if atomic.CompareAndSwapUint64(v.data, cur, word.LockWord(t.owner)) {
+			x.writes = append(x.writes, wrEnt{data: v.data, val: uint64(val), lockSeen: cur})
+			return
+		}
+	}
+	t.txAbortNow()
 }
 
 // TxCommit attempts to commit. On failure the transaction is rolled back
@@ -259,9 +395,14 @@ func (t *Thr) TxCommit() bool {
 		return t.txCommitReadOnly()
 	}
 	var ok bool
-	if t.e.cfg.Layout == LayoutVal {
+	switch {
+	case t.e.cfg.Layout == LayoutVal && t.eager:
+		ok = t.txCommitValEager()
+	case t.e.cfg.Layout == LayoutVal:
 		ok = t.txCommitVal()
-	} else {
+	case t.eager:
+		ok = t.txCommitVerEager()
+	default:
 		ok = t.txCommitVersioned()
 	}
 	if ok {
@@ -332,9 +473,7 @@ func (t *Thr) txCommitVersioned() bool {
 		return false
 	}
 	// Publish and release.
-	for i := range x.writes {
-		atomic.StoreUint64(x.writes[i].data, x.writes[i].val)
-	}
+	t.txPublishVersioned(wv)
 	for i := range x.writes {
 		w := &x.writes[i]
 		if w.dup {
@@ -344,6 +483,42 @@ func (t *Thr) txCommitVersioned() bool {
 			vlock.Unlock(w.meta, wv)
 		} else {
 			vlock.Unlock(w.meta, vlock.Version(w.lockSeen)+1)
+		}
+	}
+	return true
+}
+
+// txPublishVersioned stores the write set, recording overwritten values
+// into the snapshot history (while the locks are still held) when
+// multi-version reads are enabled.
+func (t *Thr) txPublishVersioned(wv uint64) {
+	x := &t.txn
+	if st := t.e.snap; st != nil {
+		for i := range x.writes {
+			w := &x.writes[i]
+			st.record(w.data, vlock.Version(w.lockSeen), wv, atomic.LoadUint64(w.data))
+		}
+	}
+	for i := range x.writes {
+		atomic.StoreUint64(x.writes[i].data, x.writes[i].val)
+	}
+}
+
+// txCommitVerEager commits a CCEager transaction: the write set was
+// locked at encounter time, so commit is validate + publish + release.
+// CCEager requires the global timebase (enforced by Config.Validate).
+func (t *Thr) txCommitVerEager() bool {
+	x := &t.txn
+	wv := t.e.global.Tick()
+	if !t.txValidateVersioned() {
+		t.txReleaseWriteLocks(len(x.writes))
+		return false
+	}
+	t.txPublishVersioned(wv)
+	for i := range x.writes {
+		w := &x.writes[i]
+		if !w.dup {
+			vlock.Unlock(w.meta, wv)
 		}
 	}
 	return true
@@ -448,6 +623,35 @@ func (t *Thr) txCommitVal() bool {
 		return false
 	}
 	// Publish: the stores clear the lock bits.
+	t.storeBegin()
+	for i := range x.writes {
+		atomic.StoreUint64(x.writes[i].data, x.writes[i].val)
+	}
+	t.storeEnd()
+	return true
+}
+
+// txCommitValEager commits a CCEager val-layout transaction: the write
+// set already holds its lock bits (set in TxWrite), so commit is
+// validate + publish.
+func (t *Thr) txCommitValEager() bool {
+	x := &t.txn
+	var ok bool
+	if t.e.cfg.ValNoCounter {
+		ok = t.txValidateVal(t.owner)
+	} else {
+		for {
+			s1 := t.e.stableSum()
+			ok = t.txValidateVal(t.owner)
+			if !ok || t.e.stableSum() == s1 {
+				break
+			}
+		}
+	}
+	if !ok {
+		t.txReleaseValLocks(len(x.writes))
+		return false
+	}
 	t.storeBegin()
 	for i := range x.writes {
 		atomic.StoreUint64(x.writes[i].data, x.writes[i].val)

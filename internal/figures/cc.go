@@ -1,0 +1,98 @@
+// The "cc" series: a Synchrobench-style comparison of the pluggable
+// concurrency-control policies on the sharded transactional map. The
+// same traffic — wide atomic batches mixed with point reads and writes,
+// uniform and Zipf key popularity — runs under each policy on the
+// co-located (tvar) layout, where all three protocols and the snapshot
+// history apply:
+//
+//	ext    timestamp extension (default): lazy acquisition, invisible
+//	       readers, timebase extension instead of aborting
+//	lazy   classic TL2: lazy acquisition, abort on any post-snapshot
+//	       version
+//	eager  encounter-time write locking: conflicts surface at TxWrite
+//
+// Every engine also records snapshot history, so the wide batches ride
+// Thr.SnapshotRead — the evidence columns show those batches never
+// validation-abort (snap_fb, the count of batches handed back to the
+// validating full-transaction path, stays 0 unless writers outrun the
+// per-word history ring).
+package figures
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spectm/internal/harness"
+)
+
+// ccPolicies are the compared concurrency-control policies (harness
+// names, = spectm CC constant String() values).
+var ccPolicies = []string{"ext", "lazy", "eager"}
+
+// ccMixes stresses both ends: mostly-read traffic with a meaningful
+// wide-batch share, and write-heavy churn that maximizes conflict
+// pressure on the batches.
+var ccMixes = []mapMix{
+	{"read-heavy", 70, 14, 2, 14},
+	{"write-heavy", 20, 55, 10, 15},
+}
+
+// ccBatchKeys is the batch width: wide enough (≥8) that every batch
+// takes the snapshot path rather than the 2-key short transaction.
+const ccBatchKeys = 8
+
+// FigCC runs the concurrency-control comparison: every (policy, mix,
+// distribution) profile across the thread sweep, with 8-key atomic
+// batches served from snapshot history.
+func FigCC(o Options) error {
+	o = o.withDefaults()
+	keys := int(o.KeyRange)
+
+	fmt.Fprintf(o.Out, "\n== cc: concurrency-control policies, tvar layout, %d string keys, %d-key batches ==\n",
+		keys, ccBatchKeys)
+	fmt.Fprintf(o.Out, "%-8s %-7s %-12s %-9s %14s %12s %10s %12s %9s\n",
+		"threads", "policy", "mix", "dist", "ops/s", "allocs/op", "aborts", "snap_batch", "snap_fb")
+
+	var csv *os.File
+	if o.CSVDir != "" {
+		f, err := os.Create(filepath.Join(o.CSVDir, "cc.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csv = f
+		fmt.Fprintln(csv, "threads,policy,mix,dist,ops_per_sec,allocs_per_op,aborts,snapshot_batches,snapshot_fallbacks")
+	}
+
+	for _, th := range o.Threads {
+		for _, pol := range ccPolicies {
+			for _, mix := range ccMixes {
+				for _, dist := range mapDists {
+					res, err := harness.RunMap(harness.MapWorkload{
+						Keys:   keys,
+						GetPct: mix.get, PutPct: mix.put, DeletePct: mix.del, BatchPct: mix.batch,
+						BatchKeys: ccBatchKeys,
+						Dist:      dist, Layout: "tvar", CC: pol,
+						Threads: th, Duration: o.Duration, Seed: o.Seed,
+					})
+					if err != nil {
+						return err
+					}
+					aborts := res.Stats.Aborts + res.Stats.ShortAborts
+					ms := res.MapStats
+					fmt.Fprintf(o.Out, "%-8d %-7s %-12s %-9s %14.0f %12.3f %10d %12d %9d\n",
+						th, pol, mix.name, dist, res.OpsPerSec, res.AllocsPerOp,
+						aborts, ms.SnapshotBatches, ms.SnapshotFallbacks)
+					o.record("cc/"+pol+"/"+mix.name+"/"+dist, th, res.OpsPerSec, res.AllocsPerOp)
+					if csv != nil {
+						fmt.Fprintf(csv, "%d,%s,%s,%s,%.0f,%.4f,%d,%d,%d\n",
+							th, pol, mix.name, dist, res.OpsPerSec, res.AllocsPerOp,
+							aborts, ms.SnapshotBatches, ms.SnapshotFallbacks)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -27,9 +27,11 @@ type MapWorkload struct {
 	GetPct    int    // lookup share; defaults below
 	PutPct    int    // insert/update share
 	DeletePct int    // removal share
-	BatchPct  int    // 2-key atomic GetBatch share
+	BatchPct  int    // atomic GetBatch share (BatchKeys keys each)
+	BatchKeys int    // keys per batch (default 2; ≥3 exercises the wide paths)
 	Dist      string // "uniform" (default) or "zipf"
 	Layout    string // "val" (default), "tvar" or "orec"
+	CC        string // "ext" (default), "lazy", "eager", "local" or "nocounter"
 
 	// Fsync, when non-empty, runs the map with persistence enabled in a
 	// temporary directory under the given policy ("always", "every=N",
@@ -49,11 +51,17 @@ func (w MapWorkload) withDefaults() MapWorkload {
 	if w.GetPct == 0 && w.PutPct == 0 && w.DeletePct == 0 && w.BatchPct == 0 {
 		w.GetPct, w.PutPct, w.DeletePct, w.BatchPct = 90, 8, 1, 1
 	}
+	if w.BatchKeys == 0 {
+		w.BatchKeys = 2
+	}
 	if w.Dist == "" {
 		w.Dist = "uniform"
 	}
 	if w.Layout == "" {
 		w.Layout = "val"
+	}
+	if w.CC == "" {
+		w.CC = "ext"
 	}
 	if w.Threads == 0 {
 		w.Threads = 1
@@ -75,11 +83,34 @@ type MapResult struct {
 	OpsPerSec   float64
 	AllocsPerOp float64 // process-wide mallocs per operation during the run
 	Stats       core.Stats
+	MapStats    shardmap.OpStats // batch routing incl. snapshot counters
 }
 
-// mapEngine builds the engine for a layout name. +3 leaves room for
-// the init thread and the persistence thread.
-func mapEngine(layout string, threads int) (*core.Engine, error) {
+// parseCC maps a policy name to its core constant (the names WithCC's
+// constants String() to).
+func parseCC(name string) (core.CC, error) {
+	switch name {
+	case "ext":
+		return core.CCTimestampExt, nil
+	case "lazy":
+		return core.CCLazy, nil
+	case "eager":
+		return core.CCEager, nil
+	case "local":
+		return core.CCLocal, nil
+	case "nocounter":
+		return core.CCNoCounter, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown concurrency-control policy %q", name)
+	}
+}
+
+// mapEngine builds the engine for a layout and concurrency-control
+// policy. +3 leaves room for the init thread and the persistence
+// thread. Versioned layouts under a global clock also get snapshot
+// history, routing wide batches through multi-version reads — the
+// configuration FigCC compares.
+func mapEngine(layout, cc string, threads int) (*core.Engine, error) {
 	cfg := core.Config{MaxThreads: threads + 3}
 	switch layout {
 	case "val":
@@ -91,6 +122,13 @@ func mapEngine(layout string, threads int) (*core.Engine, error) {
 	default:
 		return nil, fmt.Errorf("harness: unknown map layout %q", layout)
 	}
+	pol, err := parseCC(cc)
+	if err != nil {
+		return nil, err
+	}
+	cfg.CC = pol
+	cfg.Snapshots = cfg.Layout != core.LayoutVal &&
+		pol != core.CCLocal && pol != core.CCNoCounter
 	return core.NewChecked(cfg)
 }
 
@@ -124,7 +162,7 @@ func RunMap(w MapWorkload) (MapResult, error) {
 		return MapResult{}, fmt.Errorf("harness: op mix %d/%d/%d/%d does not sum to 100",
 			w.GetPct, w.PutPct, w.DeletePct, w.BatchPct)
 	}
-	e, err := mapEngine(w.Layout, w.Threads)
+	e, err := mapEngine(w.Layout, w.CC, w.Threads)
 	if err != nil {
 		return MapResult{}, err
 	}
@@ -170,9 +208,9 @@ func RunMap(w MapWorkload) (MapResult, error) {
 		th := m.NewThread()
 		r := rng.New(w.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
 		pick, _ := keyPicker(w.Dist, r, w.Keys) // dist validated above
-		bkeys := make([]string, 2)
-		bvals := make([]shardmap.Value, 2)
-		bfound := make([]bool, 2)
+		bkeys := make([]string, w.BatchKeys)
+		bvals := make([]shardmap.Value, w.BatchKeys)
+		bfound := make([]bool, w.BatchKeys)
 		return func(stop *atomic.Bool) (uint64, core.Stats) {
 			var ops uint64
 			for !stop.Load() {
@@ -187,7 +225,10 @@ func RunMap(w MapWorkload) (MapResult, error) {
 					case p < w.GetPct+w.PutPct+w.DeletePct:
 						th.Delete(key)
 					default:
-						bkeys[0], bkeys[1] = key, keys[pick()]
+						bkeys[0] = key
+						for i := 1; i < len(bkeys); i++ {
+							bkeys[i] = keys[pick()]
+						}
 						th.GetBatch(bkeys, bvals, bfound)
 					}
 					ops++
@@ -197,7 +238,7 @@ func RunMap(w MapWorkload) (MapResult, error) {
 		}
 	})
 
-	res := MapResult{Workload: w, Elapsed: elapsed, Ops: ops, Stats: stats}
+	res := MapResult{Workload: w, Elapsed: elapsed, Ops: ops, Stats: stats, MapStats: m.OpStats()}
 	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
 	if res.Ops > 0 {
 		res.AllocsPerOp = float64(mallocs) / float64(res.Ops)

@@ -141,6 +141,7 @@ func (rd *Reader) integer(p int) (int64, int, error) {
 // one full command is buffered. The returned slices alias the reader's
 // buffer and are valid only until the next call. A blank inline line
 // yields a zero-argument command (callers should skip it).
+//
 //spectm:noalloc
 func (rd *Reader) Next() ([][]byte, error) {
 	for {
@@ -245,6 +246,7 @@ type Reply struct {
 // ReadReply decodes the next reply frame into rep. For an array reply
 // ('*'), only the header is consumed: the caller reads rep.Int element
 // replies next.
+//
 //spectm:noalloc
 func (rd *Reader) ReadReply(rep *Reply) error {
 	for {

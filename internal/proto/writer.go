@@ -62,6 +62,7 @@ func (w *Writer) room() bool {
 func (w *Writer) crlf() { w.buf = append(w.buf, '\r', '\n') }
 
 // SimpleString writes +s.
+//
 //spectm:noalloc
 func (w *Writer) SimpleString(s string) {
 	if !w.room() {
@@ -73,6 +74,7 @@ func (w *Writer) SimpleString(s string) {
 }
 
 // Error writes an error reply -msg.
+//
 //spectm:noalloc
 func (w *Writer) Error(msg string) {
 	if !w.room() {
@@ -84,6 +86,7 @@ func (w *Writer) Error(msg string) {
 }
 
 // Int writes an integer reply :n.
+//
 //spectm:noalloc
 func (w *Writer) Int(n int64) {
 	if !w.room() {
@@ -95,6 +98,7 @@ func (w *Writer) Int(n int64) {
 }
 
 // Uint writes an integer reply :u.
+//
 //spectm:noalloc
 func (w *Writer) Uint(u uint64) {
 	if !w.room() {
@@ -106,6 +110,7 @@ func (w *Writer) Uint(u uint64) {
 }
 
 // Null writes the null bulk reply $-1.
+//
 //spectm:noalloc
 func (w *Writer) Null() {
 	if !w.room() {
@@ -115,6 +120,7 @@ func (w *Writer) Null() {
 }
 
 // Bulk writes a bulk-string reply.
+//
 //spectm:noalloc
 func (w *Writer) Bulk(b []byte) {
 	if !w.room() {
@@ -128,6 +134,7 @@ func (w *Writer) Bulk(b []byte) {
 }
 
 // BulkString writes a bulk-string reply from a string.
+//
 //spectm:noalloc
 func (w *Writer) BulkString(s string) {
 	if !w.room() {
@@ -141,6 +148,7 @@ func (w *Writer) BulkString(s string) {
 }
 
 // Array writes an array header for n element replies.
+//
 //spectm:noalloc
 func (w *Writer) Array(n int) {
 	if !w.room() {

@@ -431,6 +431,7 @@ func (c *srcConn) countRange(g uint64, i int, start, limit int64) (int, bool) {
 // ship sends every written byte between the sender's cursor and the
 // frontier snapshot, rotating generations as needed. It reports whether
 // anything was sent.
+//
 //spectm:noalloc
 func (c *srcConn) ship(cur *wal.Cursor) (bool, error) {
 	progressed := false
@@ -474,6 +475,7 @@ func (c *srcConn) ship(cur *wal.Cursor) (bool, error) {
 // shipRange streams shard i of the sender's generation up to limit, in
 // BATCH frames of at most maxBatch bytes. Frames need not end on record
 // boundaries — the replica reassembles.
+//
 //spectm:noalloc
 func (c *srcConn) shipRange(i int, limit int64) (bool, error) {
 	if c.offs[i] >= limit {

@@ -309,6 +309,9 @@ func (c *conn) statsReply() {
 	appendStat("swap2_hits", st.SwapHits)
 	appendStat("mgets", st.Batches)
 	appendStat("mget_keys", st.BatchKeys)
+	appendStat("snapshot_batches", st.SnapshotBatches)
+	appendStat("snapshot_retries", st.SnapshotRetries)
+	appendStat("snapshot_fallbacks", st.SnapshotFallbacks)
 	appendStat("wal_bytes", uint64(s.m.LogSize()))
 	c.stats = b
 	c.wr.Bulk(b)

@@ -129,8 +129,15 @@ func New(opts ...Option) (*Server, error) {
 		return nil, errors.New("server: -repl-listen requires -data-dir (replication ships the write-ahead log)")
 	}
 	// +4: accept slop, the persistence thread (recovery + snapshots) and
-	// the replication applier.
-	e, err := core.NewChecked(core.Config{Layout: cfg.layout, MaxThreads: cfg.maxConns + 4})
+	// the replication applier. Versioned layouts get snapshot history,
+	// which routes wide MGET (and Range) through multi-version reads —
+	// on replicas this is what keeps read serving abort-free while the
+	// applier streams the primary's writes.
+	e, err := core.NewChecked(core.Config{
+		Layout:     cfg.layout,
+		MaxThreads: cfg.maxConns + 4,
+		Snapshots:  cfg.layout != core.LayoutVal,
+	})
 	if err != nil {
 		return nil, err
 	}

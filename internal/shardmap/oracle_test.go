@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"spectm/internal/core"
@@ -231,12 +232,37 @@ func TestOracleSequential(t *testing.T) {
 }
 
 func TestOracleConcurrent(t *testing.T) {
+	runOracleConcurrent(t, core.Config{Layout: core.LayoutVal})
+}
+
+// TestOracleConcurrentCC re-runs the concurrent oracle under each
+// non-default concurrency-control policy, plus the snapshot-recording
+// configuration that reroutes the cross-space GetBatch traffic through
+// multi-version reads. -short keeps one representative per policy.
+func TestOracleConcurrentCC(t *testing.T) {
+	cfgs := map[string]core.Config{
+		"tvar-lazy":  {Layout: core.LayoutTVar, CC: core.CCLazy},
+		"tvar-eager": {Layout: core.LayoutTVar, CC: core.CCEager},
+		"tvar-snap":  {Layout: core.LayoutTVar, Snapshots: true},
+	}
+	if !testing.Short() {
+		cfgs["val-eager"] = core.Config{Layout: core.LayoutVal, CC: core.CCEager}
+		cfgs["orec-lazy"] = core.Config{Layout: core.LayoutOrec, CC: core.CCLazy}
+		cfgs["tvar-eager-snap"] = core.Config{Layout: core.LayoutTVar, CC: core.CCEager, Snapshots: true}
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) { runOracleConcurrent(t, cfg) })
+	}
+}
+
+func runOracleConcurrent(t *testing.T, cfg core.Config) {
 	const goroutines = 6
 	steps := 20000
 	if testing.Short() {
 		steps = 2000
 	}
-	e, err := core.NewChecked(core.Config{Layout: core.LayoutVal, MaxThreads: goroutines + 4})
+	cfg.MaxThreads = goroutines + 4
+	e, err := core.NewChecked(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,13 +299,15 @@ func TestOracleConcurrent(t *testing.T) {
 					// Cross-space atomic read: results are concurrent
 					// observations, only the snapshot contract is
 					// checkable — no torn values, found ⟺ some committed
-					// insert happened-before.
-					keys := [2]string{
-						w.all[r.Intn(uint64(len(w.all)))],
-						w.all[r.Intn(uint64(len(w.all)))],
+					// insert happened-before. Width 4 exercises the wide
+					// routes (snapshot reads on history-recording
+					// engines, one full RO transaction otherwise).
+					var keys [4]string
+					for j := range keys {
+						keys[j] = w.all[r.Intn(uint64(len(w.all)))]
 					}
-					var vals [2]Value
-					var found [2]bool
+					var vals [4]Value
+					var found [4]bool
 					w.th.GetBatch(keys[:], vals[:], found[:])
 					continue
 				}
@@ -315,6 +343,110 @@ func TestOracleConcurrent(t *testing.T) {
 				t.Errorf("final union: key %q = (%v,%v), model says (%v,%v)", k, gv, gok, wv, wok)
 			}
 		}
+	}
+}
+
+// TestOracleSnapshotMGET is the snapshot-consistency oracle: writers
+// hammer Swap2 on fixed key pairs (each pair's values always {2i+1,
+// 2i+2}) plus churn traffic for resize pressure, while readers issue
+// wide 8-key batches over all pairs. A batch that observed any pair
+// torn — one half of a swap — fails; the invariant must hold on every
+// route the batch can take (snapshot reads, and the full-transaction
+// fallback under resizes). Runs on each history-recording policy.
+func TestOracleSnapshotMGET(t *testing.T) {
+	cfgs := map[string]core.Config{
+		"tvar-snap": {Layout: core.LayoutTVar, Snapshots: true},
+	}
+	if !testing.Short() {
+		cfgs["orec-snap"] = core.Config{Layout: core.LayoutOrec, Snapshots: true}
+		cfgs["tvar-eager-snap"] = core.Config{Layout: core.LayoutTVar, CC: core.CCEager, Snapshots: true}
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			const pairs = 4
+			const readers = 3
+			cfg.MaxThreads = readers + 8
+			e, err := core.NewChecked(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := New(e, WithShards(4), WithInitialBuckets(4))
+			init := m.NewThread()
+			keys := make([]string, 2*pairs)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("pair-%02d", i)
+				init.Put(keys[i], word.FromUint(uint64(i+1)))
+			}
+
+			done := make(chan struct{})
+			var torn int64
+			var wg sync.WaitGroup
+			for g := 0; g < readers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					th := m.NewThread()
+					vals := make([]Value, len(keys))
+					found := make([]bool, len(keys))
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						th.GetBatch(keys, vals, found)
+						for p := 0; p < pairs; p++ {
+							a, b := vals[2*p].Uint(), vals[2*p+1].Uint()
+							if !found[2*p] || !found[2*p+1] {
+								t.Errorf("reader %d: pair %d key vanished", g, p)
+								return
+							}
+							if a+b != uint64(4*p+3) { // {2p+1, 2p+2} in some order
+								atomic.AddInt64(&torn, 1)
+								t.Errorf("reader %d: pair %d torn: %d,%d", g, p, a, b)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+
+			// Swap writers plus churn traffic that forces shard growth
+			// (the snapshot path's resize fallback).
+			var wwg sync.WaitGroup
+			iters := 8000
+			if testing.Short() {
+				iters = 1500
+			}
+			for g := 0; g < 2; g++ {
+				wwg.Add(1)
+				go func(g int) {
+					defer wwg.Done()
+					th := m.NewThread()
+					r := rng.New(uint64(g + 1))
+					for i := 0; i < iters; i++ {
+						p := int(r.Intn(pairs))
+						if !th.Swap2(keys[2*p], keys[2*p+1]) {
+							t.Error("Swap2 of present pair failed")
+							return
+						}
+						if i%8 == 0 {
+							th.Put(fmt.Sprintf("churn-%d-%d", g, i), word.FromUint(uint64(i)))
+						}
+					}
+				}(g)
+			}
+			wwg.Wait()
+			close(done)
+			wg.Wait()
+			if atomic.LoadInt64(&torn) != 0 {
+				t.Fatalf("%d torn pair observations", torn)
+			}
+			st := m.OpStats()
+			if st.SnapshotBatches == 0 {
+				t.Fatal("wide batches never took the snapshot route")
+			}
+		})
 	}
 }
 

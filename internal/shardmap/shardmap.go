@@ -140,6 +140,7 @@ func WithInitialBuckets(n int) Option { return func(c *config) { c.buckets = n }
 // operations through it.
 type Map struct {
 	e         *core.Engine
+	snap      bool // engine maintains snapshot history (wide-batch fast path)
 	seed      maphash.Seed
 	shards    []shard
 	shardMask uint64
@@ -198,6 +199,7 @@ func newMap(e *core.Engine, opts ...Option) (*Map, error) {
 	nb := ceilPow2(cfg.buckets)
 	m := &Map{
 		e:         e,
+		snap:      e.SnapshotsEnabled(),
 		seed:      maphash.MakeSeed(),
 		shards:    make([]shard, ns),
 		shardMask: uint64(ns - 1),
@@ -271,6 +273,9 @@ type Thread struct {
 	// Range scratch: one bucket's chain, buffered per attempt
 	rkeys []string
 	rvals []word.Value
+
+	// snapshot-batch scratch: per-key shard states for the resize check
+	bstates []*tables
 }
 
 // NewThread registers a worker with the map's engine.
@@ -350,6 +355,7 @@ func (x *Thread) search(sh *shard, tb *table, h uint64, key string) (prev core.V
 // Get returns the value stored for key. The (liveness, value) pair is
 // read with one 2-location read-only short transaction, so a concurrent
 // update, removal or migration can never produce a torn observation.
+//
 //spectm:noalloc
 func (x *Thread) Get(key string) (Value, bool) {
 	v, ok := x.get(key)
@@ -389,6 +395,7 @@ func (x *Thread) get(key string) (Value, bool) {
 // short transaction that re-validates the node's liveness link while the
 // value word is locked and rewritten; inserts publish a fresh arena node
 // with a single-location CAS on the predecessor link.
+//
 //spectm:noalloc
 func (x *Thread) Put(key string, val Value) bool {
 	h := x.m.hash(key)
@@ -415,6 +422,7 @@ func (x *Thread) Put(key string, val Value) bool {
 // Unlike Put, Update never retains key, so callers that parse keys out
 // of reused I/O buffers can pass a zero-copy view and only fall back to
 // cloning the key for a real insert.
+//
 //spectm:noalloc
 func (x *Thread) Update(key string, val Value) bool {
 	h := x.m.hash(key)
@@ -502,6 +510,7 @@ func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *aren
 // paper's §3 mark-and-unlink as one 2-location short read-write
 // transaction: the node's own link is marked (so concurrent walkers
 // restart) in the same commit that splices it out of the chain.
+//
 //spectm:noalloc
 func (x *Thread) Delete(key string) bool {
 	h := x.m.hash(key)
@@ -550,6 +559,7 @@ func (x *Thread) del(h uint64, key string) bool {
 // of (liveness link, value), an upgrade of the value entry, and a
 // combined commit that validates the link under the write lock. It
 // returns false when the key is absent or holds a different value.
+//
 //spectm:noalloc
 func (x *Thread) CompareAndSwap(key string, old, new Value) bool {
 	h := x.m.hash(key)

@@ -8,8 +8,9 @@ import (
 	"spectm/internal/word"
 )
 
-// engines returns one engine per layout/clock combination the map must
-// support.
+// engines returns one engine per layout/clock/policy combination the
+// map must support. The "-snap" entry records multi-version history, so
+// wide batches and Range take the snapshot-read route.
 func engines() map[string]*core.Engine {
 	return map[string]*core.Engine{
 		"val":           core.New(core.Config{Layout: core.LayoutVal}),
@@ -18,6 +19,10 @@ func engines() map[string]*core.Engine {
 		"tvar-l":        core.New(core.Config{Layout: core.LayoutTVar, Clock: core.ClockLocal}),
 		"orec-g":        core.New(core.Config{Layout: core.LayoutOrec, Clock: core.ClockGlobal}),
 		"orec-l":        core.New(core.Config{Layout: core.LayoutOrec, Clock: core.ClockLocal}),
+		"tvar-lazy":     core.New(core.Config{Layout: core.LayoutTVar, CC: core.CCLazy}),
+		"tvar-eager":    core.New(core.Config{Layout: core.LayoutTVar, CC: core.CCEager}),
+		"val-eager":     core.New(core.Config{Layout: core.LayoutVal, CC: core.CCEager}),
+		"tvar-snap":     core.New(core.Config{Layout: core.LayoutTVar, Snapshots: true}),
 	}
 }
 
@@ -200,9 +205,10 @@ func TestGetBatch(t *testing.T) {
 
 // TestZeroAllocHotPaths is the CI regression gate for the paper's core
 // claim applied to the map: Get and single-key update Put run entirely on
-// the short-transaction paths and perform no dynamic allocation.
+// the short-transaction paths and perform no dynamic allocation — under
+// every concurrency-control policy and with snapshot history on.
 func TestZeroAllocHotPaths(t *testing.T) {
-	for _, layout := range []string{"val", "tvar-g", "orec-g"} {
+	for _, layout := range []string{"val", "tvar-g", "orec-g", "tvar-lazy", "tvar-eager", "val-eager", "tvar-snap"} {
 		t.Run(layout, func(t *testing.T) {
 			e := engines()[layout]
 			m := New(e, WithShards(4), WithInitialBuckets(64))
@@ -233,6 +239,42 @@ func TestZeroAllocHotPaths(t *testing.T) {
 				t.Fatalf("Map.CompareAndSwap allocates %.1f allocs/op, want 0", n)
 			}
 		})
+	}
+}
+
+// TestZeroAllocSnapshotBatch pins the wide-batch snapshot route: an
+// 8-key GetBatch on a history-recording engine must stay allocation-free
+// (after the one-time scratch growth on first use).
+func TestZeroAllocSnapshotBatch(t *testing.T) {
+	e := core.New(core.Config{Layout: core.LayoutTVar, Snapshots: true})
+	m := New(e, WithShards(4), WithInitialBuckets(64))
+	th := m.NewThread()
+	for i := 0; i < 128; i++ {
+		th.Put(key(i), word.FromUint(uint64(i)))
+	}
+	keys := make([]string, 8)
+	vals := make([]Value, 8)
+	found := make([]bool, 8)
+	for i := range keys {
+		keys[i] = key(i * 16)
+	}
+	th.GetBatch(keys, vals, found) // warm the per-thread scratch
+	if n := testing.AllocsPerRun(200, func() {
+		th.GetBatch(keys, vals, found)
+	}); n != 0 {
+		t.Fatalf("snapshot GetBatch allocates %.1f allocs/op, want 0", n)
+	}
+	st := th.OpStats()
+	if st.SnapshotBatches == 0 {
+		t.Fatal("wide batches never took the snapshot route")
+	}
+	if st.SnapshotFallbacks != 0 {
+		t.Fatalf("quiescent snapshot batches fell back %d times", st.SnapshotFallbacks)
+	}
+	for i := range keys {
+		if !found[i] || vals[i].Uint() != uint64(i*16) {
+			t.Fatalf("key %d: (%v,%v)", i, vals[i].Uint(), found[i])
+		}
 	}
 }
 

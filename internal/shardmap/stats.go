@@ -23,6 +23,11 @@ type OpStats struct {
 	SwapHits   uint64 // ... with both keys present
 	Batches    uint64 // GetBatch calls
 	BatchKeys  uint64 // keys read across all batches
+
+	// Snapshot-batch routing (engines with core.Config.Snapshots).
+	SnapshotBatches   uint64 // wide batches that tried the snapshot path
+	SnapshotRetries   uint64 // batch restarts with a fresh timestamp
+	SnapshotFallbacks uint64 // batches handed to the full-transaction path
 }
 
 // Add accumulates o into s.
@@ -41,6 +46,9 @@ func (s *OpStats) Add(o OpStats) {
 	s.SwapHits += o.SwapHits
 	s.Batches += o.Batches
 	s.BatchKeys += o.BatchKeys
+	s.SnapshotBatches += o.SnapshotBatches
+	s.SnapshotRetries += o.SnapshotRetries
+	s.SnapshotFallbacks += o.SnapshotFallbacks
 }
 
 // Ops returns the total operation count (batches count once).
@@ -58,6 +66,8 @@ type opCounters struct {
 	cas, casHits        atomic.Uint64
 	swaps, swapHits     atomic.Uint64
 	batches, batchKeys  atomic.Uint64
+
+	snapBatches, snapRetries, snapFallbacks atomic.Uint64
 }
 
 // reset zeroes every slot (recovery replay drives the map through the
@@ -67,6 +77,7 @@ func (c *opCounters) reset() {
 		&c.gets, &c.getHits, &c.puts, &c.inserts, &c.updates, &c.updateHits,
 		&c.deletes, &c.deleteHits, &c.cas, &c.casHits, &c.swaps, &c.swapHits,
 		&c.batches, &c.batchKeys,
+		&c.snapBatches, &c.snapRetries, &c.snapFallbacks,
 	} {
 		a.Store(0)
 	}
@@ -81,6 +92,9 @@ func (c *opCounters) snapshot() OpStats {
 		CAS: c.cas.Load(), CASHits: c.casHits.Load(),
 		Swaps: c.swaps.Load(), SwapHits: c.swapHits.Load(),
 		Batches: c.batches.Load(), BatchKeys: c.batchKeys.Load(),
+		SnapshotBatches:   c.snapBatches.Load(),
+		SnapshotRetries:   c.snapRetries.Load(),
+		SnapshotFallbacks: c.snapFallbacks.Load(),
 	}
 }
 

@@ -1,13 +1,14 @@
 // Engine construction: the options-pattern constructor. An Engine is
-// parameterized by a meta-data layout (paper Fig 3), a version-management
-// strategy (§4.1) and a handful of capacity knobs; options make the
+// parameterized by a meta-data layout (paper Fig 3), a concurrency-
+// control policy and a handful of capacity knobs; options make the
 // common case read as prose —
 //
-//	e := spectm.New(spectm.WithLayout(spectm.LayoutTVar), spectm.WithClock(spectm.ClockLocal))
+//	e := spectm.New(spectm.WithLayout(spectm.LayoutTVar), spectm.WithCC(spectm.CCEager))
 //
 // — while New validates the combination before any memory is committed.
 // The zero-option call spectm.New() builds the default engine: the orec
-// layout with a global clock, 256k ownership records, 128 threads.
+// layout with the timestamp-extension policy, 256k ownership records,
+// 128 threads.
 package spectm
 
 import (
@@ -25,9 +26,39 @@ func WithLayout(l Layout) Option {
 	return func(c *core.Config) { c.Layout = l }
 }
 
-// WithClock selects the version-management strategy (§4.1): ClockGlobal
-// (one shared TL2 counter, the default) or ClockLocal (per-orec
-// versions; per-thread commit counters in the val layout).
+// WithCC selects the concurrency-control policy:
+//
+//	CCTimestampExt  lazy acquisition, invisible readers, timebase
+//	                extension on reads (the default — the engine's
+//	                original protocol)
+//	CCLazy          classic TL2: as above but a stale read aborts
+//	                instead of extending
+//	CCEager         encounter-time write locking; reads keep extension
+//	CCLocal         per-orec versions, no global counter, read-set
+//	                validation after every read (formerly
+//	                WithClock(ClockLocal))
+//	CCNoCounter     LayoutVal only: value validation without commit
+//	                counters (formerly WithValNoCounter)
+//
+// WithCC subsumes the deprecated WithClock/WithValNoCounter options; the
+// engine normalizes either surface into one effective protocol.
+func WithCC(cc CC) Option {
+	return func(c *core.Config) { c.CC = cc }
+}
+
+// WithSnapshots enables multi-version snapshot reads (Thr.SnapshotRead):
+// every commit records the value it overwrites into a bounded history
+// ring, letting wide read-only batches run at one timestamp with zero
+// validation aborts. Requires a versioned layout (orec or tvar) and a
+// global-timebase policy.
+func WithSnapshots() Option {
+	return func(c *core.Config) { c.Snapshots = true }
+}
+
+// WithClock selects the version-management strategy (§4.1).
+//
+// Deprecated: use WithCC — ClockLocal is CCLocal; ClockGlobal is the
+// default of every other policy.
 func WithClock(m ClockMode) Option {
 	return func(c *core.Config) { c.Clock = m }
 }
@@ -58,6 +89,8 @@ func WithDebugChecks() Option {
 // is sound only under the §2.4 special cases (e.g. values with the
 // non-re-use property, which arena handles provide); general workloads
 // should keep the counters.
+//
+// Deprecated: use WithCC(CCNoCounter).
 func WithValNoCounter() Option {
 	return func(c *core.Config) { c.ValNoCounter = true }
 }

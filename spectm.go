@@ -7,11 +7,16 @@
 // # The engine
 //
 // An Engine provides transactional words (Var) under one of three
-// meta-data layouts (LayoutOrec, LayoutTVar, LayoutVal) and two version
-// management strategies (ClockGlobal, ClockLocal), selected with
-// options at construction:
+// meta-data layouts (LayoutOrec, LayoutTVar, LayoutVal) and one of five
+// concurrency-control policies (CCTimestampExt, CCLazy, CCEager,
+// CCLocal, CCNoCounter), selected with options at construction:
 //
-//	e := spectm.New(spectm.WithLayout(spectm.LayoutVal), spectm.WithValNoCounter())
+//	e := spectm.New(spectm.WithLayout(spectm.LayoutVal), spectm.WithCC(spectm.CCNoCounter))
+//
+// WithSnapshots additionally enables multi-version snapshot reads
+// (Thr.SnapshotBegin/SnapshotRead) on versioned layouts, which the
+// sharded map uses to serve wide GetBatch and Range on one consistent
+// timestamp with zero validation aborts.
 //
 // Three APIs operate on the same meta-data and can be freely mixed:
 //
@@ -85,9 +90,15 @@ type Config = core.Config
 type Layout = core.Layout
 
 // ClockMode selects the version-management strategy (§4.1).
+//
+// Deprecated: use CC — WithCC(CCLocal) replaces WithClock(ClockLocal).
 type ClockMode = core.ClockMode
 
-// Meta-data layouts and clock modes (see the paper's Fig 3 and §4.1).
+// CC selects the concurrency-control policy; see WithCC.
+type CC = core.CC
+
+// Meta-data layouts, clock modes and concurrency-control policies (see
+// the paper's Fig 3 and §4.1, and WithCC for the policy table).
 const (
 	LayoutOrec = core.LayoutOrec
 	LayoutTVar = core.LayoutTVar
@@ -95,6 +106,12 @@ const (
 
 	ClockGlobal = core.ClockGlobal
 	ClockLocal  = core.ClockLocal
+
+	CCTimestampExt = core.CCTimestampExt
+	CCLazy         = core.CCLazy
+	CCEager        = core.CCEager
+	CCLocal        = core.CCLocal
+	CCNoCounter    = core.CCNoCounter
 )
 
 // MaxShort is the maximum number of locations in a short transaction.

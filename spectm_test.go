@@ -80,9 +80,26 @@ func TestOptionsConstruction(t *testing.T) {
 		cfg.MaxThreads != 3 || !cfg.Debug {
 		t.Fatalf("options not applied: %+v", cfg)
 	}
+	// The deprecated clock shim normalizes to the CC policy it names.
+	if cfg.CC != CCLocal {
+		t.Fatalf("WithClock(ClockLocal) normalized to CC=%v, want CCLocal", cfg.CC)
+	}
 
 	if ev := New(WithLayout(LayoutVal), WithValNoCounter()); !ev.Config().ValNoCounter {
 		t.Fatal("WithValNoCounter not applied")
+	} else if ev.Config().CC != CCNoCounter {
+		t.Fatalf("WithValNoCounter normalized to CC=%v, want CCNoCounter", ev.Config().CC)
+	}
+
+	// And the replacement spellings round-trip to the legacy fields.
+	if ec := New(WithCC(CCLocal)); ec.Config().Clock != ClockLocal {
+		t.Fatalf("WithCC(CCLocal) Clock = %v, want ClockLocal", ec.Config().Clock)
+	}
+	if ec := New(WithLayout(LayoutVal), WithCC(CCNoCounter)); !ec.Config().ValNoCounter {
+		t.Fatal("WithCC(CCNoCounter) did not set ValNoCounter")
+	}
+	if ec := New(WithLayout(LayoutTVar), WithCC(CCEager), WithSnapshots()); ec.Config().CC != CCEager || !ec.Config().Snapshots {
+		t.Fatalf("WithCC/WithSnapshots not applied: %+v", ec.Config())
 	}
 
 	for name, opts := range map[string][]Option{
@@ -90,6 +107,9 @@ func TestOptionsConstruction(t *testing.T) {
 		"orecbits-range":       {WithOrecBits(31)},
 		"orecbits-on-val":      {WithLayout(LayoutVal), WithOrecBits(4)},
 		"valnocounter-on-tvar": {WithLayout(LayoutTVar), WithValNoCounter()},
+		"eager-local-clock":    {WithCC(CCEager), WithClock(ClockLocal)},
+		"snapshots-on-val":     {WithLayout(LayoutVal), WithSnapshots()},
+		"snapshots-local":      {WithCC(CCLocal), WithSnapshots()},
 	} {
 		if _, err := NewEngine(opts...); err == nil {
 			t.Errorf("%s: NewEngine accepted an invalid configuration", name)
