@@ -34,8 +34,9 @@ func main() {
 		layout     = flag.String("layout", "val", "engine meta-data layout: val, tvar or orec")
 		dataDir    = flag.String("data-dir", "", "persistence directory: per-shard write-ahead logs + snapshots (empty = in-memory only)")
 		fsync      = flag.String("fsync", "interval=1s", "WAL fsync policy: always, every=N or interval=DURATION")
-		replListen = flag.String("repl-listen", "", "serve WAL-shipping replication to replicas on this address (requires -data-dir)")
+		replListen = flag.String("repl-listen", "", "serve WAL-shipping replication to replicas on this address (requires -data-dir; on a replica, the listener a future PROMOTE will serve)")
 		replicaOf  = flag.String("replica-of", "", "run as a read-only replica of the primary whose -repl-listen is at host:port")
+		epoch      = flag.Uint64("epoch", 0, "initial cluster epoch (a higher persisted epoch still wins)")
 	)
 	flag.Parse()
 
@@ -66,12 +67,11 @@ func main() {
 		}
 		opts = append(opts, server.WithPersistence(*dataDir, policy))
 	}
-	if *replListen != "" {
-		opts = append(opts, server.WithReplListen(*replListen))
-	}
-	if *replicaOf != "" {
-		opts = append(opts, server.WithReplicaOf(*replicaOf))
-	}
+	opts = append(opts, server.WithTopology(server.Topology{
+		Epoch:      *epoch,
+		Primary:    *replicaOf,
+		ReplListen: *replListen,
+	}))
 
 	s, err := server.New(opts...)
 	if err != nil {

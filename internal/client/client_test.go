@@ -1,0 +1,151 @@
+// Unit tests against a scripted wire server: reply decoding, the error
+// predicates, and the coordinator's no-candidate path. The typed client
+// against real servers is exercised throughout internal/server's
+// failover/nemesis tests and the tests/ e2e tree.
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"spectm/internal/proto"
+)
+
+// scriptServer answers every incoming command on one connection with
+// the next canned write function.
+func scriptServer(t *testing.T, replies ...func(w *proto.Writer)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		rd, w := proto.NewReader(nc), proto.NewWriter(nc)
+		for _, rep := range replies {
+			if _, err := rd.Next(); err != nil {
+				return
+			}
+			rep(w)
+			w.Flush()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestErrorPredicates(t *testing.T) {
+	if !IsReadOnly(ServerError("READONLY replica; send writes to the primary")) {
+		t.Error("IsReadOnly missed a READONLY error")
+	}
+	if !IsStale(ServerError("STALE primary fenced by a newer epoch; REPLICAOF the new primary or PROMOTE")) {
+		t.Error("IsStale missed a STALE error")
+	}
+	if IsReadOnly(ServerError("ERR nope")) || IsStale(ServerError("ERR nope")) {
+		t.Error("predicates matched a generic error")
+	}
+	if IsReadOnly(errors.New("READONLY but not a ServerError")) {
+		t.Error("IsReadOnly matched a non-wire error")
+	}
+	if IsReadOnly(nil) || IsStale(nil) {
+		t.Error("predicates matched nil")
+	}
+}
+
+func TestRoleDecoding(t *testing.T) {
+	addr := scriptServer(t,
+		func(w *proto.Writer) { // primary shape
+			w.Array(4)
+			w.SimpleString("primary")
+			w.Uint(3)
+			w.Uint(1234)
+			w.Uint(2)
+		},
+		func(w *proto.Writer) { // replica shape
+			w.Array(5)
+			w.SimpleString("replica")
+			w.Uint(3)
+			w.BulkString("127.0.0.1:6400")
+			w.SimpleString("streaming")
+			w.Uint(999)
+		},
+		func(w *proto.Writer) { // standalone / mid-transition shape
+			w.Array(2)
+			w.SimpleString("standalone")
+			w.Uint(0)
+		},
+	)
+	c, err := Dial(addr, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	got, err := c.Role()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RoleInfo{Role: "primary", Epoch: 3, Position: 1234, Replicas: 2}
+	if got != want {
+		t.Errorf("primary ROLE = %+v, want %+v", got, want)
+	}
+
+	got, err = c.Role()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = RoleInfo{Role: "replica", Epoch: 3, Primary: "127.0.0.1:6400", Link: "streaming", Applied: 999}
+	if got != want {
+		t.Errorf("replica ROLE = %+v, want %+v", got, want)
+	}
+
+	got, err = c.Role()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = RoleInfo{Role: "standalone"}
+	if got != want {
+		t.Errorf("standalone ROLE = %+v, want %+v", got, want)
+	}
+}
+
+func TestServerErrorRoundTrip(t *testing.T) {
+	addr := scriptServer(t, func(w *proto.Writer) {
+		w.Error("READONLY replica; send writes to the primary")
+	})
+	c, err := Dial(addr, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", 1); !IsReadOnly(err) {
+		t.Errorf("Set returned %v, want a READONLY ServerError", err)
+	}
+}
+
+// TestFailoverNoCandidate: a slate of dead nodes ends in ErrNoCandidate
+// after the catch-up window, not a hang or a bogus promotion.
+func TestFailoverNoCandidate(t *testing.T) {
+	dead := func() string { // an address that refuses connections
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	nodes := []Node{{Addr: dead(), ReplAddr: dead()}, {Addr: dead(), ReplAddr: dead()}}
+	_, err := Failover(nodes, FailoverConfig{
+		CatchUp: 200 * time.Millisecond, Poll: 25 * time.Millisecond, DialTimeout: 100 * time.Millisecond,
+	})
+	if !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("Failover over dead nodes = %v, want ErrNoCandidate", err)
+	}
+}

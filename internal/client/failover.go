@@ -1,0 +1,181 @@
+// The failover coordinator: the client side of the promotion protocol.
+// Given the surviving nodes of a cluster whose primary died, it polls
+// their epoch-qualified applied positions over a bounded catch-up
+// window, promotes the most-caught-up replica (repl.PickCandidate:
+// highest epoch, then highest applied cursor position), and re-points
+// the rest at the new primary. The server side (epoch bump, durable
+// fence record, stream fencing) lives in internal/server and
+// internal/repl.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spectm/internal/repl"
+)
+
+// Node names one cluster member for the coordinator.
+type Node struct {
+	Addr     string // data-plane address (client commands)
+	ReplAddr string // replication listener address (what replicas dial)
+}
+
+// FailoverConfig bounds the coordinator.
+type FailoverConfig struct {
+	// CatchUp is the bounded window the coordinator waits for replica
+	// applied positions to quiesce before flipping the winner to
+	// read-write. Within the window, two consecutive identical polls end
+	// the wait early. Default 2s.
+	CatchUp time.Duration
+	// Poll is the interval between position polls. Default 50ms.
+	Poll time.Duration
+	// DialTimeout bounds each per-node round trip, so a partitioned
+	// node costs one timeout, not a hang. Default 1s.
+	DialTimeout time.Duration
+}
+
+func (c *FailoverConfig) defaults() {
+	if c.CatchUp <= 0 {
+		c.CatchUp = 2 * time.Second
+	}
+	if c.Poll <= 0 {
+		c.Poll = 50 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+}
+
+// FailoverResult reports what a Failover did.
+type FailoverResult struct {
+	Promoted  int    // index into nodes of the new primary
+	Epoch     uint64 // the new cluster epoch
+	Repointed []int  // indexes re-pointed at the new primary
+	Skipped   []int  // indexes that were unreachable throughout
+}
+
+// ErrNoCandidate means no node answered the position polls.
+var ErrNoCandidate = errors.New("client: no reachable promotion candidate")
+
+// pollRole fetches one node's RoleInfo with a bounded round trip.
+func pollRole(addr string, d time.Duration) (RoleInfo, error) {
+	c, err := Dial(addr, WithTimeout(d))
+	if err != nil {
+		return RoleInfo{}, err
+	}
+	defer c.Close()
+	return c.Role()
+}
+
+// Failover runs one promotion round over nodes (the surviving members;
+// do not include the dead primary). It returns which node was promoted
+// to which epoch and which nodes now tail it. Nodes that never answer
+// are skipped — re-point them manually when they return, or run the
+// coordinator again.
+func Failover(nodes []Node, cfg FailoverConfig) (FailoverResult, error) {
+	cfg.defaults()
+	if len(nodes) == 0 {
+		return FailoverResult{}, ErrNoCandidate
+	}
+
+	// Catch-up window: poll every node's epoch-qualified applied
+	// position until two consecutive sweeps agree (the survivors have
+	// drained whatever the dead primary managed to ship) or the window
+	// closes. An unreachable node just stays unmarked in `alive`.
+	alive := make([]bool, len(nodes))
+	cands := make([]repl.Candidate, len(nodes))
+	deadline := time.Now().Add(cfg.CatchUp)
+	var prev []repl.Candidate
+	for {
+		anyAlive := false
+		for i, n := range nodes {
+			info, err := pollRole(n.Addr, cfg.DialTimeout)
+			if err != nil {
+				alive[i] = false
+				continue
+			}
+			alive[i] = true
+			anyAlive = true
+			applied := info.Applied
+			if info.Role == "primary" || info.Role == "standalone" {
+				// A node that is already writable competes with its
+				// streamed position: it holds everything it acknowledged.
+				applied = info.Position
+			}
+			cands[i] = repl.Candidate{Applied: applied, Epoch: info.Epoch}
+		}
+		quiesced := anyAlive && prev != nil
+		if quiesced {
+			for i := range cands {
+				if alive[i] && cands[i] != prev[i] {
+					quiesced = false
+					break
+				}
+			}
+		}
+		if quiesced || time.Now().After(deadline) {
+			break
+		}
+		prev = append(prev[:0], cands...)
+		time.Sleep(cfg.Poll)
+	}
+
+	// Election: highest epoch, then highest applied, among the alive.
+	slate := make([]repl.Candidate, 0, len(nodes))
+	idxs := make([]int, 0, len(nodes))
+	for i := range nodes {
+		if alive[i] {
+			slate = append(slate, cands[i])
+			idxs = append(idxs, i)
+		}
+	}
+	win := repl.PickCandidate(slate)
+	if win < 0 {
+		return FailoverResult{}, ErrNoCandidate
+	}
+	winner := idxs[win]
+
+	res := FailoverResult{Promoted: winner}
+	c, err := Dial(nodes[winner].Addr, WithTimeout(cfg.DialTimeout))
+	if err != nil {
+		return res, fmt.Errorf("client: dialing winner %s: %w", nodes[winner].Addr, err)
+	}
+	info, err := c.Role()
+	if err == nil && info.Role == "primary" {
+		// Already primary (re-run of the coordinator): keep its epoch.
+		res.Epoch = info.Epoch
+	} else {
+		if res.Epoch, err = c.Promote(); err != nil {
+			c.Close()
+			return res, fmt.Errorf("client: promoting %s: %w", nodes[winner].Addr, err)
+		}
+	}
+	c.Close()
+
+	// Re-point the rest. A failure here is not fatal to the promotion:
+	// the node lands in Skipped and can be re-pointed later.
+	for i, n := range nodes {
+		if i == winner {
+			continue
+		}
+		if !alive[i] {
+			res.Skipped = append(res.Skipped, i)
+			continue
+		}
+		rc, err := Dial(n.Addr, WithTimeout(cfg.DialTimeout))
+		if err != nil {
+			res.Skipped = append(res.Skipped, i)
+			continue
+		}
+		err = rc.ReplicaOf(nodes[winner].ReplAddr)
+		rc.Close()
+		if err != nil {
+			res.Skipped = append(res.Skipped, i)
+			continue
+		}
+		res.Repointed = append(res.Repointed, i)
+	}
+	return res, nil
+}

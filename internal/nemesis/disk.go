@@ -1,0 +1,100 @@
+// Disk fault injection: a wal.File wrapper threaded into a server's
+// write-ahead log via shardmap.WithLogWrap (or wal.Options.WrapFile).
+// One DiskFaults controls every log file of one node; faults arm and
+// disarm atomically while the log is live.
+//
+// A torn write is the crash-consistency fault the WAL's CRC framing
+// exists for: the file gains a prefix of the record bytes and the
+// append errors, exactly as a power cut mid-write leaves things.
+// Recovery must stop cleanly at the torn tail (wal.Replay tolerates a
+// torn final record) and replication must never ship the torn bytes.
+package nemesis
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"spectm/internal/wal"
+)
+
+// ErrTorn is returned by a write the fault injector tore.
+var ErrTorn = errors.New("nemesis: torn write")
+
+// ErrSyncFailed is returned by an fsync while sync failures are armed.
+var ErrSyncFailed = errors.New("nemesis: fsync failed")
+
+// DiskFaults injects write/sync faults into every wal.File it wraps.
+// The zero value passes everything through.
+type DiskFaults struct {
+	torn     atomic.Bool  // one-shot: next write persists a prefix and errors
+	slow     atomic.Int64 // per-write delay, ns
+	failSync atomic.Bool  // every Sync errors while set
+
+	// Counters for assertions.
+	TornWrites  atomic.Uint64
+	FailedSyncs atomic.Uint64
+}
+
+// Wrap makes f fault-injectable. Pass to shardmap.WithLogWrap.
+func (d *DiskFaults) Wrap(f wal.File) wal.File { return &faultFile{f: f, d: d} }
+
+// ArmTorn makes the next write (across all wrapped files) torn: half
+// the buffer reaches the file, then the write errors.
+func (d *DiskFaults) ArmTorn() { d.torn.Store(true) }
+
+// SetSlow makes every write take at least dur (0 disarms).
+func (d *DiskFaults) SetSlow(dur time.Duration) { d.slow.Store(int64(dur)) }
+
+// FailSyncs makes every fsync fail while on.
+func (d *DiskFaults) FailSyncs(on bool) { d.failSync.Store(on) }
+
+// Heal disarms every fault.
+func (d *DiskFaults) Heal() {
+	d.torn.Store(false)
+	d.slow.Store(0)
+	d.failSync.Store(false)
+}
+
+// Apply maps a schedule event onto this node's disk.
+func (d *DiskFaults) Apply(e Event) {
+	switch e.Kind {
+	case KindDiskTorn:
+		d.ArmTorn()
+	case KindDiskSlow:
+		d.SetSlow(e.Dur)
+	case KindDiskHeal:
+		d.Heal()
+	}
+}
+
+type faultFile struct {
+	f wal.File
+	d *DiskFaults
+}
+
+func (ff *faultFile) Name() string { return ff.f.Name() }
+func (ff *faultFile) Close() error { return ff.f.Close() }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if d := ff.d.slow.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	if ff.d.torn.CompareAndSwap(true, false) {
+		ff.d.TornWrites.Add(1)
+		n, err := ff.f.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrTorn
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.d.failSync.Load() {
+		ff.d.FailedSyncs.Add(1)
+		return ErrSyncFailed
+	}
+	return ff.f.Sync()
+}

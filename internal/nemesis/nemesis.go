@@ -1,0 +1,175 @@
+// Package nemesis is a deterministic, seedable fault scheduler for the
+// failover tests. It injects three classes of faults:
+//
+//   - network: partitions, black holes and slow links, via a TCP proxy
+//     (proxy.go) the cluster's replication links are routed through;
+//   - disk: torn and slow writes and failing fsyncs, via a wal.File
+//     wrapper (disk.go) threaded into the server's write-ahead log with
+//     shardmap.WithLogWrap;
+//   - process: kill-9 and restart events, interpreted by the e2e
+//     harness against real server processes.
+//
+// The schedule is a pure function of (seed, Config): Generate draws
+// every event kind, target, offset and duration from one math/rand
+// stream, so the same seed reproduces the same fault interleaving
+// bit for bit — a failing nemesis run is replayed by re-running its
+// seed. Nothing in this package reads the clock or global randomness.
+package nemesis
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Kind is a fault event class.
+type Kind uint8
+
+const (
+	// KindPartition cuts a link: existing connections drop, new ones
+	// are refused.
+	KindPartition Kind = iota
+	// KindBlackhole stalls a link silently: connections stay open but
+	// no bytes flow (the nastier failure — no error, just silence).
+	KindBlackhole
+	// KindSlowLink delays every forwarded chunk by Dur.
+	KindSlowLink
+	// KindHeal restores a link to pass-through.
+	KindHeal
+	// KindKill SIGKILLs a node (harness-interpreted).
+	KindKill
+	// KindRestart restarts a killed node (harness-interpreted).
+	KindRestart
+	// KindDiskTorn arms a one-shot torn write on a node's WAL: the next
+	// append persists a prefix and errors.
+	KindDiskTorn
+	// KindDiskSlow makes a node's WAL writes take Dur each.
+	KindDiskSlow
+	// KindDiskHeal restores a node's WAL to full speed and health.
+	KindDiskHeal
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case KindPartition:
+		return "partition"
+	case KindBlackhole:
+		return "blackhole"
+	case KindSlowLink:
+		return "slowlink"
+	case KindHeal:
+		return "heal"
+	case KindKill:
+		return "kill"
+	case KindRestart:
+		return "restart"
+	case KindDiskTorn:
+		return "disk-torn"
+	case KindDiskSlow:
+		return "disk-slow"
+	case KindDiskHeal:
+		return "disk-heal"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At     time.Duration // offset from schedule start
+	Kind   Kind
+	Target int           // link or node index in [0, Config.Targets)
+	Dur    time.Duration // slow-link/slow-disk delay per chunk/write
+}
+
+// Config bounds a generated schedule.
+type Config struct {
+	Targets int           // number of links/nodes faults can hit
+	Events  int           // number of fault events to draw
+	Horizon time.Duration // events land in [0, Horizon)
+	Kinds   []Kind        // kinds to draw from (default: network kinds)
+}
+
+// defaultKinds keeps process and disk faults opt-in: a harness that
+// cannot kill processes should not receive kill events.
+var defaultKinds = []Kind{KindPartition, KindBlackhole, KindSlowLink, KindHeal}
+
+// Generate derives a fault schedule from seed. It is deterministic:
+// equal (seed, cfg) produce equal schedules. Every disruptive event is
+// followed by a matching heal/restart later in the schedule, so a run
+// always ends with the cluster able to converge.
+func Generate(seed int64, cfg Config) []Event {
+	if cfg.Targets <= 0 {
+		cfg.Targets = 1
+	}
+	if cfg.Events <= 0 {
+		cfg.Events = 8
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 5 * time.Second
+	}
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = defaultKinds
+	}
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]Event, 0, 2*cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		at := time.Duration(rng.Int63n(int64(cfg.Horizon)))
+		target := rng.Intn(cfg.Targets)
+		e := Event{At: at, Kind: k, Target: target}
+		switch k {
+		case KindSlowLink, KindDiskSlow:
+			e.Dur = time.Duration(1+rng.Int63n(50)) * time.Millisecond
+		}
+		evs = append(evs, e)
+		// Pair disruption with recovery inside the horizon, so the
+		// post-schedule cluster can converge for the oracle check.
+		heal := Event{Target: target}
+		switch k {
+		case KindPartition, KindBlackhole, KindSlowLink:
+			heal.Kind = KindHeal
+		case KindKill:
+			heal.Kind = KindRestart
+		case KindDiskTorn, KindDiskSlow:
+			heal.Kind = KindDiskHeal
+		default:
+			continue // heals don't need heals
+		}
+		rest := int64(cfg.Horizon - at)
+		if rest <= 0 {
+			rest = 1
+		}
+		heal.At = at + time.Duration(rng.Int63n(rest))
+		evs = append(evs, heal)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// Play applies a schedule in real time: it sleeps between events and
+// hands each one to apply, stopping early when stop closes. The
+// schedule (what happens, to whom, in what order) is seed-deterministic;
+// Play only spaces it out in wall time.
+func Play(events []Event, apply func(Event), stop <-chan struct{}) {
+	start := time.Now()
+	for _, e := range events {
+		d := e.At - time.Since(start)
+		if d > 0 {
+			select {
+			case <-time.After(d):
+			case <-stop:
+				return
+			}
+		} else {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+		apply(e)
+	}
+}

@@ -1,0 +1,263 @@
+package nemesis
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestGenerateDeterministic: the tentpole's replayability guarantee —
+// the schedule is a pure function of the seed.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Targets: 3, Events: 32, Horizon: 10 * time.Second,
+		Kinds: []Kind{KindPartition, KindBlackhole, KindSlowLink, KindKill, KindDiskTorn, KindDiskSlow}}
+	for _, seed := range []int64{1, 42, -7, 1 << 40} {
+		a := Generate(seed, cfg)
+		b := Generate(seed, cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+		if len(a) == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+	}
+	if reflect.DeepEqual(Generate(1, cfg), Generate(2, cfg)) {
+		t.Fatal("seeds 1 and 2 generated identical schedules")
+	}
+}
+
+// TestGenerateWellFormed: events are sorted, in-horizon, on-target, and
+// every disruption has a later matching recovery.
+func TestGenerateWellFormed(t *testing.T) {
+	cfg := Config{Targets: 4, Events: 64, Horizon: 3 * time.Second,
+		Kinds: []Kind{KindPartition, KindBlackhole, KindSlowLink, KindKill, KindDiskTorn, KindDiskSlow}}
+	evs := Generate(99, cfg)
+	balance := map[int]map[Kind]int{} // target → recovery kind → outstanding
+	for i, e := range evs {
+		if i > 0 && e.At < evs[i-1].At {
+			t.Fatalf("event %d out of order: %v after %v", i, e.At, evs[i-1].At)
+		}
+		if e.At < 0 || e.At > 2*cfg.Horizon {
+			t.Fatalf("event %d outside horizon: %v", i, e.At)
+		}
+		if e.Target < 0 || e.Target >= cfg.Targets {
+			t.Fatalf("event %d target %d out of range", i, e.Target)
+		}
+		if balance[e.Target] == nil {
+			balance[e.Target] = map[Kind]int{}
+		}
+		switch e.Kind {
+		case KindPartition, KindBlackhole, KindSlowLink:
+			balance[e.Target][KindHeal]++
+		case KindKill:
+			balance[e.Target][KindRestart]++
+		case KindDiskTorn, KindDiskSlow:
+			balance[e.Target][KindDiskHeal]++
+		case KindHeal, KindRestart, KindDiskHeal:
+			balance[e.Target][e.Kind]--
+		}
+		if e.Kind == KindSlowLink && e.Dur <= 0 {
+			t.Fatalf("slow-link event %d without a delay", i)
+		}
+	}
+	for target, kinds := range balance {
+		for k, n := range kinds {
+			if n > 0 {
+				t.Fatalf("target %d: %d disruptions without a %v", target, n, k)
+			}
+		}
+	}
+}
+
+// echoServer accepts one connection at a time and echoes bytes back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	return ln
+}
+
+func TestProxyPassAndPartition(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("through the proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("echo through proxy: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+
+	// Partition: the live connection dies, new ones cannot carry data.
+	p.Partition()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(got); err == nil {
+		t.Fatal("read succeeded across a partition")
+	}
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		c2.SetDeadline(time.Now().Add(500 * time.Millisecond))
+		c2.Write(msg)
+		if _, err := io.ReadFull(c2, got); err == nil {
+			t.Fatal("echo succeeded across a partition")
+		}
+		c2.Close()
+	}
+
+	// Heal: new connections flow again.
+	p.Heal()
+	c3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if _, err := c3.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	c3.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c3, got); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}
+
+func TestProxyBlackholeStallsThenResumes(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p.Blackhole()
+	msg := []byte("held bytes")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	if _, err := c.Read(got); err == nil {
+		t.Fatal("bytes flowed through a black hole")
+	}
+
+	// Heal: the held bytes arrive — the stream resumes, not resets.
+	p.Heal()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("stream did not resume after heal: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("resumed stream corrupted: %q want %q", got, msg)
+	}
+}
+
+// fakeFile records writes for the disk-fault tests.
+type fakeFile struct {
+	buf   bytes.Buffer
+	syncs int
+}
+
+func (f *fakeFile) Write(p []byte) (int, error) { return f.buf.Write(p) }
+func (f *fakeFile) Sync() error                 { f.syncs++; return nil }
+func (f *fakeFile) Close() error                { return nil }
+func (f *fakeFile) Name() string                { return "fake" }
+
+func TestDiskFaults(t *testing.T) {
+	var d DiskFaults
+	under := &fakeFile{}
+	f := d.Wrap(under)
+
+	// Pass-through by default.
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn write: half the buffer lands, the write errors, one-shot.
+	d.ArmTorn()
+	before := under.buf.Len()
+	if _, err := f.Write([]byte("12345678")); err != ErrTorn {
+		t.Fatalf("torn write returned %v, want ErrTorn", err)
+	}
+	if got := under.buf.Len() - before; got != 4 {
+		t.Fatalf("torn write persisted %d bytes, want 4", got)
+	}
+	if _, err := f.Write([]byte("xy")); err != nil {
+		t.Fatalf("write after torn one-shot: %v", err)
+	}
+	if d.TornWrites.Load() != 1 {
+		t.Fatalf("torn counter %d, want 1", d.TornWrites.Load())
+	}
+
+	// Failing fsyncs, then heal.
+	d.FailSyncs(true)
+	if err := f.Sync(); err != ErrSyncFailed {
+		t.Fatalf("sync returned %v, want ErrSyncFailed", err)
+	}
+	d.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after heal: %v", err)
+	}
+}
+
+// TestPlayOrder: Play applies events in schedule order and honors stop.
+func TestPlayOrder(t *testing.T) {
+	evs := []Event{
+		{At: 0, Kind: KindPartition, Target: 0},
+		{At: 5 * time.Millisecond, Kind: KindHeal, Target: 0},
+		{At: 10 * time.Millisecond, Kind: KindBlackhole, Target: 1},
+		{At: 15 * time.Millisecond, Kind: KindHeal, Target: 1},
+	}
+	var got []Kind
+	Play(evs, func(e Event) { got = append(got, e.Kind) }, nil)
+	want := []Kind{KindPartition, KindHeal, KindBlackhole, KindHeal}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("played %v, want %v", got, want)
+	}
+
+	stop := make(chan struct{})
+	close(stop)
+	var n int
+	Play([]Event{{At: time.Hour, Kind: KindHeal}}, func(Event) { n++ }, stop)
+	if n != 0 {
+		t.Fatal("Play ignored stop")
+	}
+}

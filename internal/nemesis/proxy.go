@@ -1,0 +1,199 @@
+// Proxy is the network fault injector: a TCP forwarder the harness
+// routes a replication (or client) link through, with three fault
+// modes. Partition drops the link hard — live connections close, new
+// ones are refused. Blackhole is the silent failure — connections stay
+// up, bytes stop flowing. SetDelay makes the link slow. Heal restores
+// pass-through.
+package nemesis
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Link modes.
+const (
+	modePass int32 = iota
+	modeBlackhole
+	modeCut
+)
+
+// Proxy forwards ln → target with injectable faults.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mode   atomic.Int32
+	delay  atomic.Int64 // per-chunk forwarding delay, ns
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// NewProxy listens on listen (e.g. "127.0.0.1:0") and forwards every
+// connection to target.
+func NewProxy(listen, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what the other side dials.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition cuts the link: existing connections close, new connects
+// are accepted and immediately dropped (a peer sees resets, as with a
+// crashed host).
+func (p *Proxy) Partition() {
+	p.mode.Store(modeCut)
+	p.dropConns()
+}
+
+// Blackhole stalls the link: connections stay open, no bytes flow in
+// either direction until Heal.
+func (p *Proxy) Blackhole() { p.mode.Store(modeBlackhole) }
+
+// SetDelay adds d of latency to every forwarded chunk (0 removes it).
+func (p *Proxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+// Heal restores pass-through (clearing partition, black hole and
+// delay). Peers reconnect on their own retry schedule.
+func (p *Proxy) Heal() {
+	p.mode.Store(modePass)
+	p.delay.Store(0)
+}
+
+// Apply maps a schedule event onto this link.
+func (p *Proxy) Apply(e Event) {
+	switch e.Kind {
+	case KindPartition:
+		p.Partition()
+	case KindBlackhole:
+		p.Blackhole()
+	case KindSlowLink:
+		p.SetDelay(e.Dur)
+	case KindHeal:
+		p.Heal()
+	}
+}
+
+// Close shuts the proxy down, dropping every connection.
+func (p *Proxy) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	err := p.ln.Close()
+	p.dropConns()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) dropConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() || p.mode.Load() == modeCut {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		nc, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if p.mode.Load() == modeCut {
+			nc.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.serve(nc)
+	}
+}
+
+func (p *Proxy) serve(down net.Conn) {
+	defer p.wg.Done()
+	defer down.Close()
+	up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	if !p.track(down) || !p.track(up) {
+		p.untrack(down)
+		return
+	}
+	defer p.untrack(down)
+	defer p.untrack(up)
+
+	done := make(chan struct{}, 2)
+	go p.pump(up, down, done)
+	go p.pump(down, up, done)
+	// Either direction failing tears the pair down: the deferred closes
+	// unblock the other pump.
+	<-done
+}
+
+// pump forwards src → dst one chunk at a time, honoring the link mode
+// between chunks. Blackholed chunks wait (polling the mode) rather than
+// drop: a healed link resumes mid-stream without corrupting the byte
+// sequence, which is how a stalled-then-recovered network behaves.
+func (p *Proxy) pump(dst, src net.Conn, done chan<- struct{}) {
+	defer func() { done <- struct{}{} }()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			for p.mode.Load() == modeBlackhole && !p.closed.Load() {
+				time.Sleep(2 * time.Millisecond)
+			}
+			if p.mode.Load() == modeCut || p.closed.Load() {
+				return
+			}
+			if d := p.delay.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			// Half-close: propagate EOF but keep draining the other
+			// direction via its own pump.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}

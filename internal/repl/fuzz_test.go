@@ -69,7 +69,7 @@ func FuzzHandshake(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded handshake fails to parse: %v", err)
 		}
-		if h2.psync != h.psync || h2.gen != h.gen || len(h2.offs) != len(h.offs) {
+		if h2.psync != h.psync || h2.gen != h.gen || h2.epoch != h.epoch || len(h2.offs) != len(h.offs) {
 			t.Fatalf("handshake round trip changed: %+v vs %+v", h, h2)
 		}
 		for i := range h.offs {

@@ -1,0 +1,39 @@
+// Promotion candidate selection: pure cursor arithmetic shared by the
+// failover coordinator (internal/client) and its tests. The policy is
+// the tentpole's "highest applied wal.Cursor wins": the replica that
+// applied the most of the dead primary's history loses the least
+// acknowledged data when it takes over.
+package repl
+
+// Candidate is one promotable replica's applied position, as reported
+// by its epoch-carrying ROLE reply.
+type Candidate struct {
+	Applied uint64 // absolute applied position (records)
+	Epoch   uint64 // the replica's cluster epoch
+}
+
+// PickCandidate returns the index of the candidate to promote: the
+// highest epoch first (a lower-epoch replica may sit on a deposed
+// primary's divergent suffix, so raw record counts across epochs do not
+// compare), then the highest applied position, then the lowest index
+// for determinism. It returns -1 for an empty slate.
+func PickCandidate(cands []Candidate) int {
+	best := -1
+	for i, c := range cands {
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := cands[best]
+		if c.Epoch != b.Epoch {
+			if c.Epoch > b.Epoch {
+				best = i
+			}
+			continue
+		}
+		if c.Applied > b.Applied {
+			best = i
+		}
+	}
+	return best
+}

@@ -18,17 +18,21 @@
 // Both directions use the internal/proto command framing (arrays of
 // bulk strings); neither side sends replies. The replica speaks first:
 //
-//	SYNC                             full bootstrap requested
-//	PSYNC  gen nshards blob          resume from a persisted cursor
+//	SYNC   [epoch]                   full bootstrap requested
+//	PSYNC  gen nshards blob [epoch]  resume from a persisted cursor
 //	ACK    recs bytes                cumulative applied, stream-relative
+//
+// The optional trailing epoch is the replica's cluster epoch (0 when
+// absent); a primary whose own epoch is lower refuses the link — it has
+// been superseded by a promotion it did not see (see "Fencing" below).
 //
 // The primary answers with exactly one of
 //
-//	FULL   gen nshards recs bytes blob   snapshot bootstrap begins;
-//	                                     (recs, bytes) is the absolute
-//	                                     base position of the cursor
-//	CONT   gen nshards recs bytes blob   resume accepted at the echoed
-//	                                     cursor, base as above
+//	FULL   gen nshards recs bytes blob [epoch]   snapshot bootstrap
+//	                                     begins; (recs, bytes) is the
+//	                                     absolute base position
+//	CONT   gen nshards recs bytes blob [epoch]   resume accepted at the
+//	                                     echoed cursor, base as above
 //
 // and then streams
 //
@@ -57,6 +61,25 @@
 // read-your-writes (without the WAITOFF gate) and synchronous
 // durability on the replica quorum are deliberately not offered — see
 // DESIGN.md "Replication".
+//
+// # Fencing
+//
+// Failover introduces a cluster epoch: every promotion bumps it, the
+// bump is recorded in the promoted node's WAL (wal.OpEpoch) and carried
+// by the handshake in both directions. Three rules keep a demoted or
+// partitioned-away primary from splitting the brain:
+//
+//  1. A Source that receives a hello with a higher epoch refuses the
+//     link and reports itself stale (Server demotes to read-only).
+//  2. A Replica that receives FULL/CONT with an epoch below its own
+//     rejects the stream — a stale primary cannot feed it.
+//  3. A PSYNC resume is honored only at the Source's exact epoch; a
+//     cursor taken under an older epoch falls back to a full sync, so
+//     divergent suffixes written by a deposed primary are discarded
+//     rather than spliced.
+//
+// Replicas adopt higher epochs from the handshake and from OpEpoch
+// records in the stream, persisting them to their own WAL.
 package repl
 
 import "time"

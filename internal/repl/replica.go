@@ -30,6 +30,9 @@ type repConfig struct {
 	retryMin        time.Duration
 	retryMax        time.Duration
 	noCursor        bool
+	epoch           uint64
+	onEpoch         func(epoch uint64)
+	applyTh         *shardmap.Thread
 }
 
 // WithCheckpointBytes sets how many applied bytes may pass between
@@ -72,6 +75,29 @@ func WithRetry(min, max time.Duration) ReplicaOption {
 	}
 }
 
+// WithReplicaEpoch seeds the replica's cluster epoch. A persistent map's
+// recovered epoch still wins if higher; the option exists for
+// non-persistent replicas and tests.
+func WithReplicaEpoch(e uint64) ReplicaOption {
+	return func(c *repConfig) { c.epoch = e }
+}
+
+// WithEpochNotify installs a callback fired (from the apply goroutine)
+// whenever the replica adopts a higher cluster epoch — from the
+// handshake or from an OpEpoch record in the stream. The server mirrors
+// its own epoch view here.
+func WithEpochNotify(f func(epoch uint64)) ReplicaOption {
+	return func(c *repConfig) { c.onEpoch = f }
+}
+
+// WithApplyThread makes the replica apply through th instead of
+// registering a fresh map thread. Map threads are a bounded resource;
+// a server that re-points its replica at runtime (REPLICAOF) reuses one
+// thread across Replica instances.
+func WithApplyThread(th *shardmap.Thread) ReplicaOption {
+	return func(c *repConfig) { c.applyTh = th }
+}
+
 // Replica tails one primary into a local map.
 type Replica struct {
 	m    *shardmap.Map
@@ -91,7 +117,8 @@ type Replica struct {
 	state     atomic.Int32 // stateConnecting/stateSyncing/stateApplying
 	primRecs  atomic.Uint64
 	primBytes atomic.Uint64
-	lastMsg   atomic.Int64 // UnixNano of the newest primary message
+	lastMsg   atomic.Int64  // UnixNano of the newest primary message
+	epoch     atomic.Uint64 // cluster epoch (monotonic; see adoptEpoch)
 	fullSyncs atomic.Uint64
 	done      chan struct{}
 
@@ -132,19 +159,52 @@ func NewReplica(m *shardmap.Map, addr string, opts ...ReplicaOption) *Replica {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	r := &Replica{m: m, th: m.NewThread(), addr: addr, cfg: cfg, done: make(chan struct{})}
+	th := cfg.applyTh
+	if th == nil {
+		th = m.NewThread()
+	}
+	r := &Replica{m: m, th: th, addr: addr, cfg: cfg, done: make(chan struct{})}
 	r.cond = sync.NewCond(&r.mu)
-	if l := m.Log(); l != nil && !cfg.noCursor {
-		r.dir = l.Dir()
-		if m.RecoveryStats().TruncatedFiles > 0 {
-			// The local tail was damaged: records below the cursor may
-			// be gone, so the cursor cannot be trusted.
-			dropCursor(r.dir)
-		} else if c, ok, _ := loadCursor(r.dir); ok {
-			r.cur, r.have = c, true
+	r.epoch.Store(cfg.epoch)
+	if l := m.Log(); l != nil {
+		if e := l.Epoch(); e > r.epoch.Load() {
+			r.epoch.Store(e)
+		}
+		if !cfg.noCursor {
+			r.dir = l.Dir()
+			if m.RecoveryStats().TruncatedFiles > 0 {
+				// The local tail was damaged: records below the cursor may
+				// be gone, so the cursor cannot be trusted.
+				dropCursor(r.dir)
+			} else if c, ok, _ := loadCursor(r.dir); ok {
+				r.cur, r.have = c, true
+			}
 		}
 	}
 	return r
+}
+
+// Epoch returns the replica's current cluster epoch.
+func (r *Replica) Epoch() uint64 { return r.epoch.Load() }
+
+// adoptEpoch raises the replica's epoch to e (monotonic), persists the
+// bump into the local WAL and fires the notification callback.
+func (r *Replica) adoptEpoch(e uint64) {
+	for {
+		cur := r.epoch.Load()
+		if e <= cur {
+			return
+		}
+		if r.epoch.CompareAndSwap(cur, e) {
+			break
+		}
+	}
+	if l := r.m.Log(); l != nil {
+		l.AppendEpoch(e)
+	}
+	if r.cfg.onEpoch != nil {
+		r.cfg.onEpoch(e)
+	}
 }
 
 // Map returns the map the replica applies into.
@@ -232,10 +292,12 @@ func (r *Replica) session() error {
 	rd.OnFill = wr.Flush
 
 	// Handshake.
-	h := hello{}
+	h := hello{epoch: r.epoch.Load()}
 	r.mu.Lock()
 	if r.have {
-		h = hello{psync: true, gen: r.cur.Gen, offs: append([]int64(nil), r.cur.Offs...)}
+		h.psync = true
+		h.gen = r.cur.Gen
+		h.offs = append([]int64(nil), r.cur.Offs...)
 	}
 	r.mu.Unlock()
 	sendHello(wr, h)
@@ -252,12 +314,19 @@ func (r *Replica) session() error {
 		return err
 	}
 	switch r.msg.kind {
-	case 'F':
-		if err := r.fullSync(nc, rd, &r.msg); err != nil {
-			return err
+	case 'F', 'C':
+		// Fencing rule 2: a stream from an epoch below ours is a deposed
+		// primary — reject it (and keep retrying; an operator will
+		// re-point us or the old primary will learn its place).
+		if e := r.epoch.Load(); r.msg.epoch < e {
+			return fmt.Errorf("repl: rejecting stream from stale primary (epoch %d < %d)", r.msg.epoch, e)
 		}
-	case 'C':
-		if err := r.resume(&r.msg); err != nil {
+		r.adoptEpoch(r.msg.epoch)
+		if r.msg.kind == 'F' {
+			if err := r.fullSync(nc, rd, &r.msg); err != nil {
+				return err
+			}
+		} else if err := r.resume(&r.msg); err != nil {
 			return err
 		}
 	default:
@@ -469,7 +538,11 @@ func (r *Replica) applyBatch(m *message, wr *proto.Writer) error {
 			}
 			break // short: the tail continues in the next batch
 		}
-		if err := r.th.Apply(rec); err != nil {
+		if rec.Op == wal.OpEpoch {
+			// A mid-stream promotion on the primary (or an epoch it
+			// itself adopted): fencing metadata, not a mutation.
+			r.adoptEpoch(rec.Val)
+		} else if err := r.th.Apply(rec); err != nil {
 			return err
 		}
 		consumed += n
@@ -614,6 +687,7 @@ type ReplicaStatus struct {
 	PrimaryBytes uint64
 	LagRecs      uint64
 	FullSyncs    uint64
+	Epoch        uint64 // cluster epoch the replica lives in
 	LastMsgAge   time.Duration
 }
 
@@ -623,6 +697,7 @@ func (r *Replica) Status() ReplicaStatus {
 		Primary:     r.addr,
 		PrimaryRecs: r.primRecs.Load(), PrimaryBytes: r.primBytes.Load(),
 		FullSyncs: r.fullSyncs.Load(),
+		Epoch:     r.epoch.Load(),
 	}
 	switch r.state.Load() {
 	case stateSyncing:

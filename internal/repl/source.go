@@ -26,6 +26,7 @@ type SourceOption func(*srcConfig)
 
 type srcConfig struct {
 	heartbeat time.Duration
+	onStale   func(epoch uint64)
 }
 
 // WithHeartbeat sets the idle PING interval toward replicas (default
@@ -36,6 +37,14 @@ func WithHeartbeat(d time.Duration) SourceOption {
 			c.heartbeat = d
 		}
 	}
+}
+
+// WithStaleNotify installs the fencing callback: it fires (possibly
+// concurrently) when a replica's handshake carries an epoch above the
+// source's own — proof that this primary was superseded by a promotion
+// it did not see. The server hooks its demote-to-read-only here.
+func WithStaleNotify(f func(epoch uint64)) SourceOption {
+	return func(c *srcConfig) { c.onStale = f }
 }
 
 // Source streams a persistent map's WAL to replicas.
@@ -206,10 +215,22 @@ func (c *srcConn) serve() {
 	}
 	nc.SetReadDeadline(time.Time{})
 
+	// Fencing rule 1: a replica living in a higher epoch proves this
+	// primary was deposed. Refuse the link and let the server self-fence.
+	epoch := c.s.log.Epoch()
+	if h.epoch > epoch {
+		if f := c.s.cfg.onStale; f != nil {
+			f(h.epoch)
+		}
+		return
+	}
+
 	var cur wal.Cursor
 	c.s.log.Cursor(&cur)
 	resumed := false
-	if h.psync {
+	if h.psync && h.epoch == epoch {
+		// Fencing rule 3: a cursor checkpointed under an older epoch may
+		// sit on a divergent suffix — only same-epoch resumes are spliced.
 		resumed = c.tryResume(h, &cur)
 	}
 	if !resumed {
@@ -280,13 +301,14 @@ func (c *srcConn) fullSync(cur *wal.Cursor) bool {
 	c.baseBytes.Store(cur.Bytes)
 
 	c.buf = appendOffs(c.buf[:0], cur.Offs)
-	c.wr.Array(6)
+	c.wr.Array(7)
 	c.wr.Arg(cmdFull)
 	c.wr.ArgUint(cur.Gen)
 	c.wr.ArgUint(uint64(len(cur.Offs)))
 	c.wr.ArgUint(cur.Recs)
 	c.wr.ArgUint(cur.Bytes)
 	c.wr.ArgBytes(c.buf)
+	c.wr.ArgUint(c.s.log.Epoch())
 	if c.flush() != nil {
 		return false
 	}
@@ -363,13 +385,14 @@ func (c *srcConn) tryResume(h hello, cur *wal.Cursor) bool {
 	c.baseBytes.Store(cur.Bytes - pendBytes)
 
 	c.buf = appendOffs(c.buf[:0], h.offs)
-	c.wr.Array(6)
+	c.wr.Array(7)
 	c.wr.Arg(cmdCont)
 	c.wr.ArgUint(h.gen)
 	c.wr.ArgUint(uint64(len(h.offs)))
 	c.wr.ArgUint(c.baseRecs.Load())
 	c.wr.ArgUint(c.baseBytes.Load())
 	c.wr.ArgBytes(c.buf)
+	c.wr.ArgUint(c.s.log.Epoch())
 	return c.flush() == nil
 }
 
@@ -581,6 +604,7 @@ type SourceStatus struct {
 	WrittenRecs  uint64
 	WrittenBytes uint64
 	FullSyncs    uint64
+	Epoch        uint64 // cluster epoch the source streams under
 	Replicas     []LinkStatus
 }
 
@@ -593,6 +617,7 @@ func (s *Source) Status() SourceStatus {
 		WrittenRecs:  cur.Recs,
 		WrittenBytes: cur.Bytes,
 		FullSyncs:    s.fullSyncs.Load(),
+		Epoch:        s.log.Epoch(),
 	}
 	now := time.Now()
 	s.mu.Lock()

@@ -84,23 +84,32 @@ type hello struct {
 	psync bool
 	gen   uint64
 	offs  []int64 // nil for SYNC
+	epoch uint64  // replica's cluster epoch (fencing)
 }
 
-// parseHello decodes the replica's first command: SYNC or
-// "PSYNC gen nshards blob".
+// parseHello decodes the replica's first command: "SYNC [epoch]" or
+// "PSYNC gen nshards blob [epoch]". The trailing epoch is optional for
+// compatibility with pre-failover replicas, which are epoch 0.
 func parseHello(args [][]byte) (hello, error) {
 	if len(args) == 0 {
 		return hello{}, fmt.Errorf("%w: empty handshake", ErrWire)
 	}
 	switch {
 	case proto.CmdEq(args[0], cmdSync):
-		if len(args) != 1 {
-			return hello{}, fmt.Errorf("%w: SYNC takes no arguments", ErrWire)
+		if len(args) != 1 && len(args) != 2 {
+			return hello{}, fmt.Errorf("%w: SYNC takes at most an epoch", ErrWire)
 		}
-		return hello{}, nil
+		var h hello
+		if len(args) == 2 {
+			var err error
+			if h.epoch, err = parseUint(args[1]); err != nil {
+				return hello{}, err
+			}
+		}
+		return h, nil
 	case proto.CmdEq(args[0], cmdPSync):
-		if len(args) != 4 {
-			return hello{}, fmt.Errorf("%w: PSYNC wants gen, nshards, blob", ErrWire)
+		if len(args) != 4 && len(args) != 5 {
+			return hello{}, fmt.Errorf("%w: PSYNC wants gen, nshards, blob [, epoch]", ErrWire)
 		}
 		gen, err := parseUint(args[1])
 		if err != nil {
@@ -120,7 +129,13 @@ func parseHello(args [][]byte) (hello, error) {
 		if err != nil {
 			return hello{}, err
 		}
-		return hello{psync: true, gen: gen, offs: offs}, nil
+		h := hello{psync: true, gen: gen, offs: offs}
+		if len(args) == 5 {
+			if h.epoch, err = parseUint(args[4]); err != nil {
+				return hello{}, err
+			}
+		}
+		return h, nil
 	default:
 		return hello{}, fmt.Errorf("%w: unexpected handshake command %q", ErrWire, args[0])
 	}
@@ -129,16 +144,18 @@ func parseHello(args [][]byte) (hello, error) {
 // sendHello writes the replica's handshake.
 func sendHello(w *proto.Writer, h hello) {
 	if !h.psync {
-		w.Array(1)
+		w.Array(2)
 		w.Arg(cmdSync)
+		w.ArgUint(h.epoch)
 		return
 	}
 	blob := appendOffs(nil, h.offs)
-	w.Array(4)
+	w.Array(5)
 	w.Arg(cmdPSync)
 	w.ArgUint(h.gen)
 	w.ArgUint(uint64(len(h.offs)))
 	w.ArgBytes(blob)
+	w.ArgUint(h.epoch)
 }
 
 // parseAck decodes "ACK recs bytes" (cumulative, stream-relative).
@@ -164,6 +181,7 @@ type message struct {
 	offs      []int64 // reused across calls
 	baseRecs  uint64
 	baseBytes uint64
+	epoch     uint64 // primary's cluster epoch (fencing)
 
 	// SNAP / BATCH
 	payload []byte // aliases the reader's buffer
@@ -188,8 +206,8 @@ func parseMessage(args [][]byte, m *message) error {
 		if proto.CmdEq(args[0], cmdCont) {
 			m.kind = 'C'
 		}
-		if len(args) != 6 {
-			return fmt.Errorf("%w: %s wants gen, nshards, recs, bytes, blob", ErrWire, args[0])
+		if len(args) != 6 && len(args) != 7 {
+			return fmt.Errorf("%w: %s wants gen, nshards, recs, bytes, blob [, epoch]", ErrWire, args[0])
 		}
 		gen, err := parseUint(args[1])
 		if err != nil {
@@ -213,6 +231,12 @@ func parseMessage(args [][]byte, m *message) error {
 		}
 		if m.offs, err = parseOffs(m.offs, args[5], nshards); err != nil {
 			return err
+		}
+		m.epoch = 0
+		if len(args) == 7 {
+			if m.epoch, err = parseUint(args[6]); err != nil {
+				return err
+			}
 		}
 		m.gen = gen
 		return nil

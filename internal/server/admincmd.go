@@ -1,0 +1,95 @@
+// Topology admin commands on the data plane:
+//
+//	ROLE                       typed array: the server's role, cluster
+//	                           epoch, and role-specific positions —
+//	                           primary:    [role, epoch, position, replicas]
+//	                           replica:    [role, epoch, primary, link, applied]
+//	                           standalone: [role, epoch]
+//	PROMOTE                    make this replica the primary: bump the
+//	                           cluster epoch, persist the fence record,
+//	                           start streaming; integer reply = new epoch
+//	REPLICAOF host port        tail the primary whose replication
+//	                           listener is host:port (demotes a primary)
+//	REPLICAOF NO ONE           detach: stop tailing, accept writes again
+//	                           without bumping the epoch
+//
+// These are the spectm-server side of the failover protocol; the
+// election itself (who to PROMOTE) lives in the coordinator
+// (internal/client), which compares epoch-qualified applied positions
+// from ROLE replies. See DESIGN.md "Failover".
+package server
+
+import (
+	"strconv"
+
+	"spectm/internal/proto"
+)
+
+func (c *conn) roleReply() {
+	role, epoch := c.s.Role()
+	switch src, rep := c.s.Source(), c.s.Replica(); {
+	case role == RolePrimary && src != nil:
+		st := src.Status()
+		c.wr.Array(4)
+		c.wr.SimpleString("primary")
+		c.wr.Uint(epoch)
+		c.wr.Uint(st.Position)
+		c.wr.Uint(uint64(len(st.Replicas)))
+	case role == RoleReplica && rep != nil:
+		st := rep.Status()
+		c.wr.Array(5)
+		c.wr.SimpleString("replica")
+		c.wr.Uint(epoch)
+		c.wr.Bulk([]byte(st.Primary))
+		c.wr.SimpleString(st.State)
+		c.wr.Uint(st.AppliedRecs)
+	default:
+		// Standalone — or mid-transition, where role and src/rep can
+		// disagree for an instant; report the conservative shape.
+		c.wr.Array(2)
+		c.wr.SimpleString(role.String())
+		c.wr.Uint(epoch)
+	}
+}
+
+func (c *conn) promoteCmd(args [][]byte) {
+	if len(args) != 0 {
+		c.wr.Error("ERR PROMOTE takes no arguments")
+		return
+	}
+	epoch, err := c.s.Promote()
+	if err != nil {
+		c.wr.Error("ERR " + err.Error())
+		return
+	}
+	c.wr.Uint(epoch)
+}
+
+func (c *conn) replicaOfCmd(args [][]byte) {
+	if len(args) != 2 {
+		c.wr.Error("ERR REPLICAOF wants <host> <port> or NO ONE")
+		return
+	}
+	if proto.CmdEq(args[0], "NO") && proto.CmdEq(args[1], "ONE") {
+		if err := c.s.Detach(); err != nil {
+			c.wr.Error("ERR " + err.Error())
+			return
+		}
+		c.wr.SimpleString("OK")
+		return
+	}
+	host, port := bstr(args[0]), bstr(args[1])
+	if p, err := strconv.Atoi(port); err != nil || p < 1 || p > 65535 {
+		c.wr.Error("ERR port is not a TCP port number")
+		return
+	}
+	// Flush before the transition: ReplicaOf waits for the old
+	// replication loops to stop, and a pipelined peer may be waiting on
+	// queued replies.
+	c.wr.Flush()
+	if err := c.s.ReplicaOf(host + ":" + port); err != nil {
+		c.wr.Error("ERR " + err.Error())
+		return
+	}
+	c.wr.SimpleString("OK")
+}

@@ -103,13 +103,21 @@ func (s *Server) serveConn(nc net.Conn) {
 	}
 }
 
-// writable refuses mutating commands on a replica.
+// writable refuses mutating commands on a replica and on a fenced
+// primary (a replica handshake proved a newer epoch exists, so this
+// node's history is about to be superseded). Called from the noalloc
+// command paths: role/fence checks are atomic loads and the refusals
+// are fixed strings.
 func (c *conn) writable() bool {
-	if c.s.rep == nil {
-		return true
+	if c.s.role.Load() == roleReplica {
+		c.wr.Error("READONLY replica; send writes to the primary")
+		return false
 	}
-	c.wr.Error("READONLY replica; send writes to the primary")
-	return false
+	if c.s.fencedBy.Load() != 0 {
+		c.wr.Error("STALE primary fenced by a newer epoch; REPLICAOF the new primary or PROMOTE")
+		return false
+	}
+	return true
 }
 
 func (c *conn) execute(args [][]byte) {
@@ -160,6 +168,12 @@ func (c *conn) execute(args [][]byte) {
 		c.replPosReply()
 	case proto.CmdEq(cmd, "WAITOFF"):
 		c.waitOff(args)
+	case proto.CmdEq(cmd, "ROLE"):
+		c.roleReply()
+	case proto.CmdEq(cmd, "PROMOTE"):
+		c.promoteCmd(args)
+	case proto.CmdEq(cmd, "REPLICAOF"):
+		c.replicaOfCmd(args)
 	case proto.CmdEq(cmd, "PING"):
 		c.wr.SimpleString("PONG")
 	default:

@@ -23,10 +23,10 @@ import (
 
 func (c *conn) replPosReply() {
 	switch {
-	case c.s.src != nil:
-		c.wr.Uint(c.s.src.Position())
-	case c.s.rep != nil:
-		c.wr.Uint(c.s.rep.AppliedPos())
+	case c.s.Source() != nil:
+		c.wr.Uint(c.s.Source().Position())
+	case c.s.Replica() != nil:
+		c.wr.Uint(c.s.Replica().AppliedPos())
 	default:
 		c.wr.Error("ERR replication not enabled")
 	}
@@ -54,19 +54,19 @@ func (c *conn) waitOff(args [][]byte) {
 			timeout = time.Minute
 		}
 	}
-	switch {
-	case c.s.rep != nil:
+	switch rep, src := c.s.Replica(), c.s.Source(); {
+	case rep != nil:
 		// Flush queued replies first: WAITOFF parks this connection's
 		// thread, and a pipelined peer may be waiting on them.
 		c.wr.Flush()
-		if c.s.rep.WaitApplied(pos, timeout) {
+		if rep.WaitApplied(pos, timeout) {
 			c.wr.SimpleString("OK")
 		} else {
 			c.wr.Error("WAITTIMEOUT replica did not reach position " + strconv.FormatUint(pos, 10))
 		}
-	case c.s.src != nil:
+	case src != nil:
 		// The primary is trivially at its own position.
-		if c.s.src.Position() >= pos {
+		if src.Position() >= pos {
 			c.wr.SimpleString("OK")
 		} else {
 			c.wr.Error("WAITTIMEOUT position is ahead of this primary")
@@ -91,10 +91,13 @@ func (c *conn) replStatusReply() {
 		b = append(b, v...)
 		b = append(b, '\n')
 	}
-	switch {
-	case s.src != nil:
-		st := s.src.Status()
-		text("role", "primary")
+	role, epoch := s.Role()
+	switch src, rep := s.Source(), s.Replica(); {
+	case src != nil:
+		st := src.Status()
+		text("role", role.String())
+		line("epoch", epoch)
+		line("fenced_by", s.fencedBy.Load())
 		line("position_records", st.Position)
 		line("written_records", st.WrittenRecs)
 		line("written_bytes", st.WrittenBytes)
@@ -121,9 +124,10 @@ func (c *conn) replStatusReply() {
 			b = strconv.AppendInt(b, l.LastAckAge.Milliseconds(), 10)
 			b = append(b, '\n')
 		}
-	case s.rep != nil:
-		st := s.rep.Status()
-		text("role", "replica")
+	case rep != nil:
+		st := rep.Status()
+		text("role", role.String())
+		line("epoch", epoch)
 		text("primary", st.Primary)
 		text("link", st.State)
 		line("applied_records", st.AppliedRecs)
@@ -134,7 +138,8 @@ func (c *conn) replStatusReply() {
 		line("full_syncs", st.FullSyncs)
 		line("last_message_ms", uint64(max(st.LastMsgAge.Milliseconds(), 0)))
 	default:
-		text("role", "standalone")
+		text("role", role.String())
+		line("epoch", epoch)
 	}
 	c.stats = b
 	c.wr.Bulk(b)

@@ -36,14 +36,13 @@ import (
 type Option func(*config)
 
 type config struct {
-	maxConns   int
-	shards     int
-	buckets    int
-	layout     core.Layout
-	dataDir    string
-	fsync      wal.Policy
-	replListen string
-	replicaOf  string
+	maxConns int
+	shards   int
+	buckets  int
+	layout   core.Layout
+	dataDir  string
+	fsync    wal.Policy
+	topo     Topology
 }
 
 // WithMaxConns bounds concurrently served connections (default 64).
@@ -68,25 +67,6 @@ func WithPersistence(dir string, policy wal.Policy) Option {
 	return func(c *config) { c.dataDir, c.fsync = dir, policy }
 }
 
-// WithReplListen serves WAL-shipping replication on its own listener at
-// addr: replicas connect there, bootstrap from a snapshot (or resume
-// from their cursor) and tail the write-ahead log. Requires
-// WithPersistence — replication ships the WAL.
-func WithReplListen(addr string) Option {
-	return func(c *config) { c.replListen = addr }
-}
-
-// WithReplicaOf makes this server a read-only replica of the primary
-// whose *replication* listener is at addr: mutating commands are
-// refused with -READONLY, the map is continuously rebuilt from the
-// primary's record stream, and WAITOFF gates reads on primary
-// positions. With WithPersistence the replica checkpoints its
-// replication cursor and resumes across restarts instead of
-// re-bootstrapping.
-func WithReplicaOf(addr string) Option {
-	return func(c *config) { c.replicaOf = addr }
-}
-
 // Server is a spectm-server instance: one engine, one sharded map, one
 // listener.
 type Server struct {
@@ -101,9 +81,17 @@ type Server struct {
 	started atomic.Bool    // Serve ran (replication goroutines exist)
 	wg      sync.WaitGroup // serveConn goroutines
 
-	// Replication (nil when not configured).
+	// Topology: role/epoch/fencedBy are the conn handlers' lock-free
+	// view; src/rep/replLn move under s.mu; topoMu serializes the
+	// transitions themselves (PROMOTE, REPLICAOF, Shutdown's teardown).
+	role     atomic.Int32
+	epoch    atomic.Uint64
+	fencedBy atomic.Uint64 // newer epoch that fenced this primary (0 = none)
+	topoMu   sync.Mutex
+	applyTh  *shardmap.Thread // shared across every Replica this server runs
+
 	src    *repl.Source  // primary side, serving replLn
-	rep    *repl.Replica // replica side, tailing cfg.replicaOf
+	rep    *repl.Replica // replica side, tailing the current primary
 	replLn net.Listener
 
 	pool struct {
@@ -125,8 +113,9 @@ func New(opts ...Option) (*Server, error) {
 	if cfg.maxConns < 1 {
 		return nil, fmt.Errorf("server: max conns %d < 1", cfg.maxConns)
 	}
-	if cfg.replListen != "" && cfg.dataDir == "" {
-		return nil, errors.New("server: -repl-listen requires -data-dir (replication ships the write-ahead log)")
+	cfg.topo = cfg.topo.normalize()
+	if err := cfg.topo.validate(cfg.dataDir); err != nil {
+		return nil, err
 	}
 	// +4: accept slop, the persistence thread (recovery + snapshots) and
 	// the replication applier. Versioned layouts get snapshot history,
@@ -163,42 +152,69 @@ func New(opts ...Option) (*Server, error) {
 		m:     m,
 		conns: make(map[*conn]struct{}),
 	}
-	if cfg.replListen != "" {
-		if s.src, err = repl.NewSource(m); err != nil {
-			return nil, err
+	// Epoch: the higher of the configured epoch and anything the WAL
+	// replayed (OpEpoch fence records survive restarts). An operator-
+	// configured epoch above the persisted one is recorded so it sticks.
+	epoch := cfg.topo.Epoch
+	if l := m.Log(); l != nil {
+		if epoch > l.Epoch() {
+			l.AppendEpoch(epoch)
+		} else {
+			epoch = l.Epoch()
 		}
 	}
-	if cfg.replicaOf != "" {
-		s.rep = repl.NewReplica(m, cfg.replicaOf)
+	s.epoch.Store(epoch)
+	s.role.Store(int32(cfg.topo.Role))
+	switch cfg.topo.Role {
+	case RolePrimary:
+		if s.src, err = repl.NewSource(m, repl.WithStaleNotify(s.fence)); err != nil {
+			m.Close()
+			return nil, err
+		}
+	case RoleReplica:
+		s.rep = repl.NewReplica(m, cfg.topo.Primary,
+			repl.WithReplicaEpoch(epoch),
+			repl.WithEpochNotify(s.adoptEpoch),
+			repl.WithApplyThread(s.applyThread()))
 	}
 	return s, nil
 }
 
 // IsReplica reports whether the server refuses writes because it tails
 // a primary.
-func (s *Server) IsReplica() bool { return s.rep != nil }
+func (s *Server) IsReplica() bool { return s.role.Load() == roleReplica }
 
 // Replica exposes the replication client (nil on a primary).
-func (s *Server) Replica() *repl.Replica { return s.rep }
+func (s *Server) Replica() *repl.Replica {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rep
+}
 
-// Source exposes the replication source (nil without WithReplListen).
-func (s *Server) Source() *repl.Source { return s.src }
+// Source exposes the replication source (nil when not streaming).
+func (s *Server) Source() *repl.Source {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src
+}
 
 // Map exposes the backing map (in-process mixing of direct transactions
 // with served traffic, tests, stats).
 func (s *Server) Map() *shardmap.Map { return s.m }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0"), and the
-// replication listener to its configured address when WithReplListen
-// was given.
+// replication listener to its configured address when the topology
+// names one — including on replicas, which serve nothing there until
+// promoted but claim the port up front so a promotion cannot fail on a
+// bind race.
 func (s *Server) Listen(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	s.ln = ln
-	if s.src != nil {
-		rln, err := net.Listen("tcp", s.cfg.replListen)
+	if s.cfg.topo.ReplListen != "" {
+		rln, err := net.Listen("tcp", s.cfg.topo.ReplListen)
 		if err != nil {
 			ln.Close()
 			s.ln = nil
@@ -218,8 +234,10 @@ func (s *Server) Addr() net.Addr {
 }
 
 // ReplAddr returns the bound replication address (after Listen; nil
-// without WithReplListen).
+// when the topology names no replication listener).
 func (s *Server) ReplAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.replLn == nil {
 		return nil
 	}
@@ -311,21 +329,28 @@ func (s *Server) Shutdown() error {
 	}
 	// Stop replication before the map closes: the source drops its
 	// replica links, the replica applier checkpoints its cursor behind a
-	// final local flush. The mutex section orders this against Serve's
-	// spawn (see there); rep.Close must only run when Run exists, since
-	// it waits for Run to exit.
+	// final local flush. topoMu serializes this against an in-flight
+	// PROMOTE/REPLICAOF — whichever wins, the loser observes closing and
+	// backs out, so the teardown below sees the final src/rep. rep.Close
+	// must only run when Run exists, since it waits for Run to exit; with
+	// started unset only the initial (never-Run) replica can exist, and
+	// transitions require a serving server.
+	s.topoMu.Lock()
 	s.mu.Lock()
 	started := s.started.Load()
+	src, rep, replLn := s.src, s.rep, s.replLn
+	s.src, s.rep, s.replLn = nil, nil, nil
 	s.mu.Unlock()
-	if s.replLn != nil {
-		s.replLn.Close()
+	if replLn != nil {
+		replLn.Close()
 	}
-	if s.src != nil {
-		s.src.Close()
+	if src != nil {
+		src.Close()
 	}
-	if s.rep != nil && started {
-		s.rep.Close()
+	if rep != nil && started {
+		rep.Close()
 	}
+	s.topoMu.Unlock()
 	s.mu.Lock()
 	for c := range s.conns {
 		// Unblock a reader parked in a socket read; conn.serve drains

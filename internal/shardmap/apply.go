@@ -42,6 +42,11 @@ func (x *Thread) Apply(r wal.Record) error {
 		return x.applyAssign(r.Key2, r.Val2)
 	case wal.OpPut, wal.OpCAS, wal.OpSwapHalf:
 		return x.applyAssign(r.Key, r.Val)
+	case wal.OpEpoch:
+		// Fencing metadata, not a mutation. Streams that care about the
+		// epoch (the replica) intercept it before Apply; reaching here is
+		// a harmless no-op.
+		return nil
 	default:
 		return fmt.Errorf("%w: unknown record op %d", wal.ErrCorrupt, r.Op)
 	}

@@ -43,6 +43,13 @@ func WithCompactAfter(n int64) Option {
 	return func(c *config) { c.compactAfter = n }
 }
 
+// WithLogWrap installs a wal.File wrapper around every log file the
+// map's write-ahead log creates. It exists for deterministic disk-fault
+// injection (internal/nemesis); production code leaves it unset.
+func WithLogWrap(wrap func(wal.File) wal.File) Option {
+	return func(c *config) { c.wrapFile = wrap }
+}
+
 // Open creates a persistent map over engine e, recovering the state
 // previously logged under dir (an empty or absent directory yields an
 // empty map). Unless overridden by a WithPersistence option, records
@@ -81,7 +88,9 @@ func (m *Map) openPersistence(cfg config) error {
 		Policy:       cfg.policy,
 		CompactAfter: cfg.compactAfter,
 		StartGen:     st.MaxGen + 1,
+		Epoch:        st.Epoch,
 		OnFull:       func() { m.autoSave() },
+		WrapFile:     cfg.wrapFile,
 	})
 	if err != nil {
 		return fmt.Errorf("shardmap: opening log in %s: %w", cfg.dir, err)

@@ -124,6 +124,7 @@ type config struct {
 	dir          string
 	policy       wal.Policy
 	compactAfter int64
+	wrapFile     func(wal.File) wal.File
 }
 
 // WithShards sets the number of shards (rounded up to a power of two).

@@ -26,6 +26,7 @@
 //	OpPut, OpCAS, OpSwapHalf   klen | key | val
 //	OpDelete                   klen | key
 //	OpSwap2                    k1len | k1 | v1 | k2len | k2 | v2
+//	OpEpoch                    klen=0 | epoch
 //
 // A decoder that hits a short frame, a CRC mismatch, an unknown op or
 // trailing garbage stops: everything before the bad frame is the
@@ -48,6 +49,10 @@ const (
 	OpCAS      = byte(3) // CompareAndSwap succeeded: key ← new val
 	OpSwap2    = byte(4) // same-shard Swap2: k1 ← v1 and k2 ← v2 atomically
 	OpSwapHalf = byte(5) // one shard's half of a cross-shard Swap2: key ← val
+	// OpEpoch records a cluster-epoch bump (failover fencing): Val holds
+	// the new epoch, Key is empty. It is log metadata, not a mutation —
+	// recovery and replication track it but never hand it to the map.
+	OpEpoch = byte(6)
 )
 
 // Framing limits.
@@ -117,7 +122,7 @@ func appendRecord[S byteseq](dst []byte, op byte, k1 S, v1 uint64, k2 S, v2 uint
 // map's hot path uses the typed Log methods instead.
 func EncodeRecord(dst []byte, r Record) ([]byte, error) {
 	switch r.Op {
-	case OpPut, OpDelete, OpCAS, OpSwap2, OpSwapHalf:
+	case OpPut, OpDelete, OpCAS, OpSwap2, OpSwapHalf, OpEpoch:
 	default:
 		return nil, fmt.Errorf("%w: unknown op %d", ErrCorrupt, r.Op)
 	}
@@ -165,7 +170,7 @@ func decodeBody(body []byte) (Record, error) {
 	}
 	switch r.Op {
 	case OpDelete:
-	case OpPut, OpCAS, OpSwapHalf:
+	case OpPut, OpCAS, OpSwapHalf, OpEpoch:
 		if r.Val, p, err = takeUvarint(p); err != nil {
 			return Record{}, err
 		}

@@ -66,13 +66,15 @@ type ReplayStats struct {
 	Records         int    // records applied from logs
 	TruncatedFiles  int    // files whose tail was cut at a bad record
 	MaxGen          uint64 // highest generation seen across all files
+	Epoch           uint64 // highest cluster epoch recorded (OpEpoch)
 }
 
 // Replay recovers the state recorded in dir. Snapshot entries are
 // delivered as OpPut records; log records follow in generation order.
 // Record keys alias internal buffers and must be cloned if retained.
 // Stale temporary snapshot files are removed. The returned stats'
-// MaxGen+1 is the StartGen a subsequent Open must use.
+// MaxGen+1 is the StartGen a subsequent Open must use. OpEpoch records
+// are metadata: they raise the stats' Epoch and are not handed to apply.
 func Replay(dir string, apply func(Record) error) (ReplayStats, error) {
 	var st ReplayStats
 	ents, err := os.ReadDir(dir)
@@ -129,6 +131,18 @@ func Replay(dir string, apply func(Record) error) (ReplayStats, error) {
 		return st, fmt.Errorf("%w: no snapshot in %s validates", ErrCorrupt, dir)
 	}
 
+	// Epoch records are fencing metadata, not mutations: intercept them
+	// here so the caller's apply only ever sees real key assignments.
+	applyRec := func(rec Record) error {
+		if rec.Op == OpEpoch {
+			if rec.Val > st.Epoch {
+				st.Epoch = rec.Val
+			}
+			return nil
+		}
+		return apply(rec)
+	}
+
 	var gens []uint64
 	for gen := range logsByGen {
 		if gen >= snapGen {
@@ -140,7 +154,7 @@ func Replay(dir string, apply func(Record) error) (ReplayStats, error) {
 		files := logsByGen[gen]
 		sort.Strings(files)
 		for _, name := range files {
-			n, truncated, err := replayLog(filepath.Join(dir, name), gen, apply)
+			n, truncated, err := replayLog(filepath.Join(dir, name), gen, applyRec)
 			if err != nil {
 				return st, err
 			}

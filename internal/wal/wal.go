@@ -98,6 +98,16 @@ func ParsePolicy(s string) (Policy, error) {
 	}
 }
 
+// File is the syncer's view of one shard's log file. *os.File satisfies
+// it; fault-injection harnesses (internal/nemesis) wrap it to simulate
+// torn writes, slow disks and write errors without touching the kernel.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
 // Options configures a Log.
 type Options struct {
 	// Policy is the fsync policy (default: Interval(1s)).
@@ -113,6 +123,14 @@ type Options struct {
 	// Recovery passes maxGen+1 so every generation's shard layout is
 	// immutable. Zero means 1.
 	StartGen uint64
+	// Epoch seeds the cluster epoch (failover fencing). Recovery passes
+	// ReplayStats.Epoch; zero means the log starts at epoch 0 until an
+	// OpEpoch record is appended.
+	Epoch uint64
+	// WrapFile, when set, wraps every log file the Log creates. The hook
+	// exists for deterministic disk-fault injection; production leaves it
+	// nil.
+	WrapFile func(File) File
 }
 
 // walShard is one shard's append state. Only buf, recs and the file
@@ -123,7 +141,7 @@ type walShard struct {
 	buf   []byte
 	recs  int
 	spare []byte
-	f     *os.File // current generation file; swapped only by the syncer
+	f     File // current generation file; swapped only by the syncer
 	_     [pad.CacheLine]byte
 }
 
@@ -135,9 +153,10 @@ type Log struct {
 	opts   Options
 	shards []walShard
 
-	gen  atomic.Uint64 // current generation
-	seq  atomic.Uint64 // global append sequence (Always group commit)
-	size atomic.Int64  // bytes across live log files (rotation trigger)
+	gen   atomic.Uint64 // current generation
+	seq   atomic.Uint64 // global append sequence (Always group commit)
+	size  atomic.Int64  // bytes across live log files (rotation trigger)
+	epoch atomic.Uint64 // cluster epoch (failover fencing)
 
 	// Always-policy group commit: waiters block until durableSeq covers
 	// their append.
@@ -188,13 +207,17 @@ func appendLogHeader(dst []byte, gen uint64, shard int) []byte {
 	return binary.LittleEndian.AppendUint32(dst, uint32(shard))
 }
 
-// createLogFile creates one shard's log file for gen and writes its
-// header.
-func createLogFile(dir string, gen uint64, shard int) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, logName(gen, shard)),
+// createLogFile creates one shard's log file for gen, writes its header
+// and applies the WrapFile hook.
+func createLogFile(dir string, gen uint64, shard int, wrap func(File) File) (File, error) {
+	osf, err := os.OpenFile(filepath.Join(dir, logName(gen, shard)),
 		os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	var f File = osf
+	if wrap != nil {
+		f = wrap(f)
 	}
 	if _, err := f.Write(appendLogHeader(nil, gen, shard)); err != nil {
 		f.Close()
@@ -245,10 +268,11 @@ func Open(dir string, shards int, opts Options) (*Log, error) {
 	}
 	l.syncCond = sync.NewCond(&l.syncMu)
 	l.gen.Store(opts.StartGen)
+	l.epoch.Store(opts.Epoch)
 	l.initCursor(opts.StartGen)
 	l.wrote = make([]int64, shards)
 	for i := range l.shards {
-		f, err := createLogFile(dir, opts.StartGen, i)
+		f, err := createLogFile(dir, opts.StartGen, i, opts.WrapFile)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				l.shards[j].f.Close()
@@ -312,6 +336,27 @@ func (l *Log) Swap2(shard int, k1 string, v1 uint64, k2 string, v2 uint64) {
 // (see the recovery invariants in DESIGN.md).
 func (l *Log) SwapHalf(shard int, key string, val uint64) {
 	l.append(shard, OpSwapHalf, key, val, "", 0)
+}
+
+// Epoch returns the current cluster epoch.
+func (l *Log) Epoch() uint64 { return l.epoch.Load() }
+
+// AppendEpoch records a cluster-epoch bump: an OpEpoch record is
+// appended to shard 0's log (so recovery and downstream replicas learn
+// the epoch) and the live epoch is raised. Bumps are monotonic — a stale
+// epoch is ignored. Callers that must not acknowledge writes under the
+// new epoch before it is durable follow with Flush.
+func (l *Log) AppendEpoch(e uint64) {
+	for {
+		cur := l.epoch.Load()
+		if e <= cur {
+			return
+		}
+		if l.epoch.CompareAndSwap(cur, e) {
+			break
+		}
+	}
+	l.append(0, OpEpoch, "", e, "", 0)
 }
 
 //spectm:noalloc
@@ -560,9 +605,9 @@ func (l *Log) rotate(lastSync *time.Time) (uint64, error) {
 		return 0, err
 	}
 	newGen := l.gen.Load() + 1
-	files := make([]*os.File, len(l.shards))
+	files := make([]File, len(l.shards))
 	for i := range l.shards {
-		f, err := createLogFile(l.dir, newGen, i)
+		f, err := createLogFile(l.dir, newGen, i, l.opts.WrapFile)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				files[j].Close()
@@ -585,7 +630,7 @@ func (l *Log) rotate(lastSync *time.Time) (uint64, error) {
 	// holding live (possibly fsynced and acknowledged) records. So the
 	// swap, the counter and the size reset happen before the old files'
 	// fallible closes.
-	olds := make([]*os.File, len(l.shards))
+	olds := make([]File, len(l.shards))
 	for i := range l.shards {
 		s := &l.shards[i]
 		olds[i] = s.f

@@ -55,14 +55,6 @@ func WithSnapshots() Option {
 	return func(c *core.Config) { c.Snapshots = true }
 }
 
-// WithClock selects the version-management strategy (§4.1).
-//
-// Deprecated: use WithCC — ClockLocal is CCLocal; ClockGlobal is the
-// default of every other policy.
-func WithClock(m ClockMode) Option {
-	return func(c *core.Config) { c.Clock = m }
-}
-
 // WithMaxThreads bounds the number of Register calls the engine accepts
 // (it sizes the per-thread counter arrays and the epoch domain). The
 // default is 128.
@@ -84,28 +76,16 @@ func WithDebugChecks() Option {
 	return func(c *core.Config) { c.Debug = true }
 }
 
-// WithValNoCounter, for LayoutVal only, drops the commit-counter check
-// from value-based validation — the paper's fastest configuration. It
-// is sound only under the §2.4 special cases (e.g. values with the
-// non-re-use property, which arena handles provide); general workloads
-// should keep the counters.
-//
-// Deprecated: use WithCC(CCNoCounter).
-func WithValNoCounter() Option {
-	return func(c *core.Config) { c.ValNoCounter = true }
-}
-
 // NewEngine builds an Engine from options, reporting invalid
-// combinations as an error. It is stricter than the deprecated
-// NewFromConfig shim: options that the selected layout would silently
-// ignore are rejected rather than dropped.
+// combinations as an error: options that the selected layout would
+// silently ignore are rejected rather than dropped.
 func NewEngine(opts ...Option) (*Engine, error) {
 	var cfg core.Config
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.ValNoCounter && cfg.Layout != LayoutVal {
-		return nil, fmt.Errorf("spectm: WithValNoCounter is only meaningful with LayoutVal, not %v", cfg.Layout)
+		return nil, fmt.Errorf("spectm: CCNoCounter is only meaningful with LayoutVal, not %v", cfg.Layout)
 	}
 	if cfg.OrecBits != 0 && cfg.Layout != LayoutOrec {
 		return nil, fmt.Errorf("spectm: WithOrecBits is only meaningful with LayoutOrec, not %v", cfg.Layout)
@@ -123,10 +103,3 @@ func New(opts ...Option) *Engine {
 	}
 	return e
 }
-
-// NewFromConfig creates an engine from a bare Config struct.
-//
-// Deprecated: use New or NewEngine with options; this shim exists for
-// callers written against the pre-options constructor, whose signature
-// was New(Config).
-func NewFromConfig(cfg Config) *Engine { return core.New(cfg) }

@@ -80,32 +80,23 @@ func FromUint(u uint64) Value { return word.FromUint(u) }
 // goroutine with Engine.Register.
 type Engine = core.Engine
 
-// Config parametrizes an Engine.
-//
-// Deprecated: construct engines with New and Option values (WithLayout,
-// WithClock, ...); Config remains for NewFromConfig callers.
+// Config is the engine's effective configuration, as reported by
+// Engine.Config. Engines are constructed with New and Option values
+// (WithLayout, WithCC, ...), not from a bare Config.
 type Config = core.Config
 
 // Layout selects the meta-data organization (paper Fig 3).
 type Layout = core.Layout
 
-// ClockMode selects the version-management strategy (§4.1).
-//
-// Deprecated: use CC — WithCC(CCLocal) replaces WithClock(ClockLocal).
-type ClockMode = core.ClockMode
-
 // CC selects the concurrency-control policy; see WithCC.
 type CC = core.CC
 
-// Meta-data layouts, clock modes and concurrency-control policies (see
-// the paper's Fig 3 and §4.1, and WithCC for the policy table).
+// Meta-data layouts and concurrency-control policies (see the paper's
+// Fig 3 and §4.1, and WithCC for the policy table).
 const (
 	LayoutOrec = core.LayoutOrec
 	LayoutTVar = core.LayoutTVar
 	LayoutVal  = core.LayoutVal
-
-	ClockGlobal = core.ClockGlobal
-	ClockLocal  = core.ClockLocal
 
 	CCTimestampExt = core.CCTimestampExt
 	CCLazy         = core.CCLazy

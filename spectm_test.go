@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"spectm/internal/core"
 )
 
 // TestFacadeQuickstart exercises the whole public surface the way the
@@ -70,29 +72,20 @@ func TestOptionsConstruction(t *testing.T) {
 
 	e := New(
 		WithLayout(LayoutOrec),
-		WithClock(ClockLocal),
+		WithCC(CCLocal),
 		WithOrecBits(4),
 		WithMaxThreads(3),
 		WithDebugChecks(),
 	)
 	cfg := e.Config()
-	if cfg.Layout != LayoutOrec || cfg.Clock != ClockLocal || cfg.OrecBits != 4 ||
+	if cfg.Layout != LayoutOrec || cfg.CC != CCLocal || cfg.OrecBits != 4 ||
 		cfg.MaxThreads != 3 || !cfg.Debug {
 		t.Fatalf("options not applied: %+v", cfg)
 	}
-	// The deprecated clock shim normalizes to the CC policy it names.
-	if cfg.CC != CCLocal {
-		t.Fatalf("WithClock(ClockLocal) normalized to CC=%v, want CCLocal", cfg.CC)
-	}
 
-	if ev := New(WithLayout(LayoutVal), WithValNoCounter()); !ev.Config().ValNoCounter {
-		t.Fatal("WithValNoCounter not applied")
-	} else if ev.Config().CC != CCNoCounter {
-		t.Fatalf("WithValNoCounter normalized to CC=%v, want CCNoCounter", ev.Config().CC)
-	}
-
-	// And the replacement spellings round-trip to the legacy fields.
-	if ec := New(WithCC(CCLocal)); ec.Config().Clock != ClockLocal {
+	// CC policies normalize into the engine's internal clock/counter
+	// fields (the effective protocol is visible through Config).
+	if ec := New(WithCC(CCLocal)); ec.Config().Clock != core.ClockLocal {
 		t.Fatalf("WithCC(CCLocal) Clock = %v, want ClockLocal", ec.Config().Clock)
 	}
 	if ec := New(WithLayout(LayoutVal), WithCC(CCNoCounter)); !ec.Config().ValNoCounter {
@@ -103,13 +96,12 @@ func TestOptionsConstruction(t *testing.T) {
 	}
 
 	for name, opts := range map[string][]Option{
-		"negative-threads":     {WithMaxThreads(-1)},
-		"orecbits-range":       {WithOrecBits(31)},
-		"orecbits-on-val":      {WithLayout(LayoutVal), WithOrecBits(4)},
-		"valnocounter-on-tvar": {WithLayout(LayoutTVar), WithValNoCounter()},
-		"eager-local-clock":    {WithCC(CCEager), WithClock(ClockLocal)},
-		"snapshots-on-val":     {WithLayout(LayoutVal), WithSnapshots()},
-		"snapshots-local":      {WithCC(CCLocal), WithSnapshots()},
+		"negative-threads":  {WithMaxThreads(-1)},
+		"orecbits-range":    {WithOrecBits(31)},
+		"orecbits-on-val":   {WithLayout(LayoutVal), WithOrecBits(4)},
+		"nocounter-on-tvar": {WithLayout(LayoutTVar), WithCC(CCNoCounter)},
+		"snapshots-on-val":  {WithLayout(LayoutVal), WithSnapshots()},
+		"snapshots-local":   {WithCC(CCLocal), WithSnapshots()},
 	} {
 		if _, err := NewEngine(opts...); err == nil {
 			t.Errorf("%s: NewEngine accepted an invalid configuration", name)
@@ -128,21 +120,18 @@ func TestOptionsConstruction(t *testing.T) {
 	New(WithMaxThreads(-5))
 }
 
-// TestDeprecatedConfigShim keeps the pre-options constructor working.
-func TestDeprecatedConfigShim(t *testing.T) {
-	e := NewFromConfig(Config{Layout: LayoutTVar, MaxThreads: 2})
+// TestConfigIntrospection: Engine.Config reports the effective
+// configuration as the exported Config alias.
+func TestConfigIntrospection(t *testing.T) {
+	e := New(WithLayout(LayoutTVar), WithMaxThreads(2))
+	var cfg Config = e.Config()
+	if cfg.Layout != LayoutTVar || cfg.MaxThreads != 2 {
+		t.Fatalf("Config() = %+v, want tvar/2-thread", cfg)
+	}
 	thr := e.Register()
 	v := e.NewVar(FromUint(7))
 	if got := DoRO1(thr, v); got != FromUint(7) {
-		t.Fatalf("shim engine read %d, want 7", got.Uint())
-	}
-
-	// Configs the old constructor silently accepted must not start
-	// panicking through the shim: ValNoCounter was ignored outside
-	// LayoutVal (only the options constructor rejects it).
-	e2 := NewFromConfig(Config{ValNoCounter: true})
-	if e2.Layout() != LayoutOrec {
-		t.Fatal("shim changed layout defaulting")
+		t.Fatalf("engine read %d, want 7", got.Uint())
 	}
 }
 

@@ -1,0 +1,215 @@
+// Package testcluster drives real spectm-server processes for the e2e
+// suites under tests/: it builds the binary once per test run, starts
+// nodes over their own data directories, kills them with a genuine
+// SIGKILL, and restarts them in place — the process-level complement to
+// the in-process tests in internal/server.
+package testcluster
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"spectm/internal/client"
+)
+
+var (
+	buildOnce sync.Once
+	buildErr  error
+	binPath   string
+)
+
+// repoRoot locates the module root from this source file's path.
+func repoRoot() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		panic("testcluster: runtime.Caller failed")
+	}
+	// tests/internal/testcluster/testcluster.go → repo root.
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+// ServerBin builds cmd/spectm-server once per test process and returns
+// the binary path.
+func ServerBin(t testing.TB) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "spectm-e2e-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "spectm-server")
+		cmd := exec.Command("go", "build", "-o", binPath, "./cmd/spectm-server")
+		cmd.Dir = repoRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build ./cmd/spectm-server: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("testcluster: %v", buildErr)
+	}
+	return binPath
+}
+
+// FreeAddr reserves a loopback port and releases it for the server to
+// claim. The window between release and claim is racy in principle;
+// e2e tests retry readiness, which absorbs the rare collision.
+func FreeAddr(t testing.TB) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// Config describes one node's process arguments.
+type Config struct {
+	Addr       string // data-plane listen address ("" = pick a free port)
+	DataDir    string // persistence directory ("" = none)
+	Fsync      string // -fsync policy ("" = server default)
+	ReplListen string // -repl-listen address
+	Primary    string // -replica-of address
+	Epoch      uint64 // -epoch seed
+}
+
+// Node is one running spectm-server process.
+type Node struct {
+	Cfg  Config
+	Addr string
+
+	cmd  *exec.Cmd
+	done chan error
+	mu   sync.Mutex
+}
+
+// Start launches a node and waits until it answers PING.
+func Start(t testing.TB, cfg Config) *Node {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = FreeAddr(t)
+	}
+	n := &Node{Cfg: cfg, Addr: cfg.Addr}
+	n.launch(t)
+	t.Cleanup(func() { n.Kill() })
+	n.WaitReady(t, 10*time.Second)
+	return n
+}
+
+func (n *Node) args() []string {
+	args := []string{"-addr", n.Cfg.Addr}
+	if n.Cfg.DataDir != "" {
+		args = append(args, "-data-dir", n.Cfg.DataDir)
+	}
+	if n.Cfg.Fsync != "" {
+		args = append(args, "-fsync", n.Cfg.Fsync)
+	}
+	if n.Cfg.ReplListen != "" {
+		args = append(args, "-repl-listen", n.Cfg.ReplListen)
+	}
+	if n.Cfg.Primary != "" {
+		args = append(args, "-replica-of", n.Cfg.Primary)
+	}
+	if n.Cfg.Epoch != 0 {
+		args = append(args, "-epoch", fmt.Sprint(n.Cfg.Epoch))
+	}
+	return args
+}
+
+func (n *Node) launch(t testing.TB) {
+	t.Helper()
+	cmd := exec.Command(ServerBin(t), n.args()...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start spectm-server: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	n.mu.Lock()
+	n.cmd, n.done = cmd, done
+	n.mu.Unlock()
+}
+
+// WaitReady polls PING until the node answers or the deadline passes.
+func (n *Node) WaitReady(t testing.TB, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		c, err := client.Dial(n.Addr, client.WithTimeout(time.Second))
+		if err == nil {
+			err = c.Ping()
+			c.Close()
+			if err == nil {
+				return
+			}
+		}
+		last = err
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("node %s never became ready: %v", n.Addr, last)
+}
+
+// Client dials the node's data plane, closing with the test.
+func (n *Node) Client(t testing.TB) *client.Client {
+	t.Helper()
+	c, err := client.Dial(n.Addr, client.WithTimeout(10*time.Second))
+	if err != nil {
+		t.Fatalf("dial %s: %v", n.Addr, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// Kill9 delivers a genuine SIGKILL — no shutdown path runs — and reaps
+// the process.
+func (n *Node) Kill9(t testing.TB) {
+	t.Helper()
+	n.mu.Lock()
+	cmd, done := n.cmd, n.done
+	n.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		t.Fatal("Kill9 on a node that never started")
+	}
+	syscall.Kill(cmd.Process.Pid, syscall.SIGKILL)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SIGKILLed node did not exit")
+	}
+}
+
+// Kill is the cleanup path: best-effort SIGKILL + reap, safe to call
+// after Kill9.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	cmd, done := n.cmd, n.done
+	n.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Kill()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+	}
+}
+
+// Restart relaunches the node with its original arguments (same data
+// directory, same ports) and waits for readiness.
+func (n *Node) Restart(t testing.TB) {
+	t.Helper()
+	n.launch(t)
+	n.WaitReady(t, 10*time.Second)
+}

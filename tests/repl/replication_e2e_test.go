@@ -1,0 +1,109 @@
+// The replication smoke as a portable Go e2e (formerly a /dev/tcp bash
+// job in ci.yml): one primary + two replicas through real processes —
+// seed, sustained load, kill -9 one replica, restart it over its data
+// directory, then verify both replicas converge behind a WAITOFF gate
+// and the primary counts both links again.
+package repl_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"spectm/internal/client"
+	"spectm/tests/internal/testcluster"
+)
+
+func TestReplicationKillRestartConverges(t *testing.T) {
+	replAddr := testcluster.FreeAddr(t)
+	p := testcluster.Start(t, testcluster.Config{
+		DataDir: t.TempDir(), ReplListen: replAddr,
+	})
+	r1dir := t.TempDir()
+	r1 := testcluster.Start(t, testcluster.Config{
+		DataDir: r1dir, Primary: replAddr,
+	})
+	r2 := testcluster.Start(t, testcluster.Config{
+		DataDir: t.TempDir(), Primary: replAddr,
+	})
+
+	cp := p.Client(t)
+	if err := cp.Set("smoke-a", 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Set("smoke-b", 22); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Set("smoke-c", 33); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := cp.Del("smoke-c"); err != nil || !ok {
+		t.Fatalf("DEL smoke-c = (%v, %v)", ok, err)
+	}
+
+	// Replicas refuse writes.
+	cr1 := r1.Client(t)
+	if err := cr1.Set("nope", 1); !client.IsReadOnly(err) {
+		t.Fatalf("replica write returned %v, want READONLY", err)
+	}
+
+	// Sustained load against the primary.
+	for i := 0; i < 200; i++ {
+		if err := cp.Set(fmt.Sprintf("load-%d", i%64), uint64(i)); err != nil {
+			t.Fatalf("load SET: %v", err)
+		}
+	}
+
+	// Kill -9 one replica mid-stream and restart it over its data
+	// directory (cursor resume or conservative full resync — either must
+	// converge).
+	r1.Kill9(t)
+	r1.Restart(t)
+
+	// More writes after the restart, then take the position token.
+	if err := cp.Set("smoke-d", 44); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := cp.ReplPos()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both replicas: gate on the token, then verify the seeded keys.
+	for i, r := range []*testcluster.Node{r1, r2} {
+		c := r.Client(t)
+		if err := c.WaitOff(pos, 30*time.Second); err != nil {
+			t.Fatalf("replica %d catch-up: %v", i+1, err)
+		}
+		got, err := c.MGet("smoke-a", "smoke-b", "smoke-c", "smoke-d")
+		if err != nil {
+			t.Fatalf("replica %d MGET: %v", i+1, err)
+		}
+		if !got[0].OK || got[0].Val != 11 || !got[1].OK || got[1].Val != 22 {
+			t.Errorf("replica %d seeded keys: %+v", i+1, got[:2])
+		}
+		if got[2].OK {
+			t.Errorf("replica %d: smoke-c resurrected: %+v", i+1, got[2])
+		}
+		if !got[3].OK || got[3].Val != 44 {
+			t.Errorf("replica %d: post-restart write missing: %+v", i+1, got[3])
+		}
+	}
+
+	// The primary sees both links again.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, err := cp.ReplStatus()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(status, "replicas 2") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("primary never saw both links again:\n%s", status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
