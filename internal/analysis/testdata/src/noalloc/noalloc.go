@@ -153,3 +153,41 @@ func errColdf(format string, args ...any) error {
 func okPointerBox(p *int) {
 	sink(p)
 }
+
+// ---- scan-path fixtures (ordered-index iteration) ----
+
+// A scan that accumulates into a fresh slice reallocates on every
+// growth step instead of amortizing into the caller's buffer.
+//
+//spectm:noalloc
+func badScanCollect(keys []uint64, k uint64) []uint64 {
+	out := append(keys, k) // want "append into a different variable"
+	return out
+}
+
+// Building the composite secondary-index key by concatenation allocates
+// per entry visited.
+//
+//spectm:noalloc
+func badScanKey(sk, pk string) string {
+	return sk + "\x00" + pk // want "string concatenation allocates in noalloc path badScanKey"
+}
+
+// Boxing each visited key into an any-typed callback allocates per
+// entry.
+//
+//spectm:noalloc
+func badScanVisit(k uint64) {
+	sink(k) // want "boxes uint64 into interface parameter in noalloc path badScanVisit"
+}
+
+// The Map.Scan idiom: results append into caller-provided slices whose
+// backing arrays are reused across calls, so a warmed-up scan loop
+// allocates nothing.
+//
+//spectm:noalloc
+func okScanAppendReuse(keys []uint64, vals []uint64, k, v uint64) ([]uint64, []uint64) {
+	keys = append(keys, k)
+	vals = append(vals, v)
+	return keys, vals
+}

@@ -145,3 +145,43 @@ func useAfterCommitWithSnap(t *core.Thr, a, b core.Var, at uint64) {
 	sv, _ := t.SnapshotRead(b, at)
 	d.Commit(sv) // want "use of short-transaction descriptor d after Commit"
 }
+
+// ---- scan-path escapes (ordered-index iteration) ----
+
+// A scan callback that captures the verifying descriptor would let the
+// callee decide (or outlive) the transaction that validates its entry.
+func scanCallbackCapture(t *core.Thr, a, b core.Var, visit func(func())) {
+	d, v1, _ := t.ShortRO2(a, b)
+	visit(func() { _ = d.Valid() }) // want "closure captures ShortRO2 short-transaction descriptor d"
+	_ = v1
+}
+
+// Stashing the per-entry descriptor in a cursor struct keeps it alive
+// across scan steps — each step must open (and decide) its own.
+type scanCursor struct {
+	next core.ShortRO2 // want "struct field retains a ShortRO2 short-transaction descriptor"
+	key  uint64
+}
+
+func scanStash(t *core.Thr, a, b core.Var, c *scanCursor) {
+	d, v1, _ := t.ShortRO2(a, b)
+	c.next = d // want "ShortRO2 short-transaction descriptor stored in struct field next"
+	_ = v1
+}
+
+// Collecting descriptors instead of values turns a scan result slice
+// into a pile of live transactions.
+func scanCollect(t *core.Thr, a, b core.Var, out []core.ShortRO2) {
+	d, v1, _ := t.ShortRO2(a, b)
+	out[0] = d // want "ShortRO2 short-transaction descriptor stored in a map or slice element"
+	_ = v1
+}
+
+// The legal shape: each scan step verifies its entry with a fresh RO
+// pair and only plain values cross the callback boundary.
+func okScanStep(t *core.Thr, a, b core.Var, visit func(uint64)) {
+	d, v1, _ := t.ShortRO2(a, b)
+	if d.Valid() {
+		visit(v1.Uint())
+	}
+}

@@ -148,3 +148,51 @@ func okSuppressed(t *core.Thr, a core.Var) {
 	_, _ = t.ShortRW1(a)
 	//lint:ignore txnpath fixture exercising the suppression directive
 }
+
+// ---- scan-path violations (ordered-index iteration) ----
+
+// A scan loop that advances to the next entry while still holding the
+// previous entry's lock deadlocks against writers of that entry.
+func scanLoopReopen(t *core.Thr, a, b core.Var) {
+	d, v := t.ShortRW1(a)
+	for i := 0; i < 4; i++ {
+		e, w := t.ShortRW1(b) // want "short transaction opened while a lock-holding one is still undecided"
+		e.Commit(w)
+	}
+	d.Commit(v)
+}
+
+// Advancing the cursor with the per-entry transaction undecided leaks
+// the entry lock into the next iteration.
+func scanAdvanceLeak(t *core.Thr, a core.Var) {
+	for i := 0; i < 8; i++ {
+		d, v := t.ShortRW1(a)
+		if v == 0 {
+			continue // want "continue reached with a lock-holding short transaction still open"
+		}
+		d.Commit(v)
+	}
+}
+
+// Snapshot-probing the next entry under the current entry's lock mixes
+// the two read disciplines on one held lock.
+func scanSnapUnderLock(t *core.Thr, a, b core.Var, at uint64) {
+	d, v := t.ShortRW1(a)
+	nv, _ := t.SnapshotRead(b, at) // want "snapshot read while a lock-holding short transaction is still undecided"
+	d.Commit(v + nv)
+}
+
+// The legal scan shape: membership from lock-free navigation, each
+// candidate verified with a fresh RO pair (no locks), values from one
+// snapshot timestamp taken before any entry work.
+func okScanVerify(t *core.Thr, link, val core.Var) (core.Value, bool) {
+	at := t.SnapshotBegin()
+	d, lv, _ := t.ShortRO2(link, val)
+	if !d.Valid() || lv == 0 {
+		return 0, false
+	}
+	if sv, ok := t.SnapshotRead(val, at); ok {
+		return sv, true
+	}
+	return 0, false
+}

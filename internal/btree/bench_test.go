@@ -36,6 +36,7 @@ func BenchmarkGet(b *testing.B) {
 		b.Run(e.name, func(b *testing.B) {
 			tr := benchTree(b, e.cfg, 1<<16)
 			var seed atomic.Uint64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				th := tr.NewThread()
@@ -53,6 +54,7 @@ func BenchmarkPutGetMix(b *testing.B) {
 		b.Run(e.name, func(b *testing.B) {
 			tr := benchTree(b, e.cfg, 1<<16)
 			var seed atomic.Uint64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				th := tr.NewThread()

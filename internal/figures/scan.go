@@ -1,0 +1,74 @@
+// The "scan" series: throughput of the ordered map under mixed point +
+// range traffic. Like the map series this is not a paper figure — it is
+// the repository's ordered-index serving workload: point ops maintain
+// the transactional skiplist alongside the hash map, and the scan share
+// measures what ordered iteration costs under concurrent churn.
+package figures
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spectm/internal/harness"
+)
+
+// scanMix is one traffic profile of the scan series.
+type scanMix struct {
+	name                string
+	get, put, del, scan int
+}
+
+var scanMixes = []scanMix{
+	{"scan-light", 80, 13, 2, 5},  // point-op dominated, occasional range
+	{"scan-heavy", 40, 25, 5, 30}, // analytics-like range pressure
+}
+
+// FigScan runs the ordered-map workload: every (mix, distribution)
+// profile across the thread sweep, each scan reading up to 100 keys
+// from a random start. Allocations per op stay low but not zero — each
+// scan's results are appended into reused slices, point ops keep their
+// 0-alloc paths (enforced separately by the map/* series and CI).
+func FigScan(o Options) error {
+	o = o.withDefaults()
+	keys := int(o.KeyRange)
+
+	fmt.Fprintf(o.Out, "\n== scan: ordered transactional map, %d string keys ==\n", keys)
+	fmt.Fprintf(o.Out, "%-8s %-14s %-9s %14s %12s %12s %12s\n",
+		"threads", "mix", "dist", "ops/s", "allocs/op", "aborts", "scan-keys")
+
+	var csv *os.File
+	if o.CSVDir != "" {
+		f, err := os.Create(filepath.Join(o.CSVDir, "scan.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csv = f
+		fmt.Fprintln(csv, "threads,mix,dist,ops_per_sec,allocs_per_op,aborts,scan_keys")
+	}
+
+	for _, th := range o.Threads {
+		for _, mix := range scanMixes {
+			for _, dist := range mapDists {
+				res, err := harness.RunMap(harness.MapWorkload{
+					Keys:   keys,
+					GetPct: mix.get, PutPct: mix.put, DeletePct: mix.del, ScanPct: mix.scan,
+					Dist: dist, Threads: th, Duration: o.Duration, Seed: o.Seed,
+				})
+				if err != nil {
+					return err
+				}
+				aborts := res.Stats.Aborts + res.Stats.ShortAborts
+				fmt.Fprintf(o.Out, "%-8d %-14s %-9s %14.0f %12.3f %12d %12d\n",
+					th, mix.name, dist, res.OpsPerSec, res.AllocsPerOp, aborts, res.MapStats.ScanKeys)
+				o.record("scan/"+mix.name+"/"+dist, th, res.OpsPerSec, res.AllocsPerOp)
+				if csv != nil {
+					fmt.Fprintf(csv, "%d,%s,%s,%.0f,%.4f,%d,%d\n",
+						th, mix.name, dist, res.OpsPerSec, res.AllocsPerOp, aborts, res.MapStats.ScanKeys)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -29,6 +29,8 @@ type MapWorkload struct {
 	DeletePct int    // removal share
 	BatchPct  int    // atomic GetBatch share (BatchKeys keys each)
 	BatchKeys int    // keys per batch (default 2; ≥3 exercises the wide paths)
+	ScanPct   int    // ordered Scan share (forces WithOrdered)
+	ScanLimit int    // keys per scan (default 100)
 	Dist      string // "uniform" (default) or "zipf"
 	Layout    string // "val" (default), "tvar" or "orec"
 	CC        string // "ext" (default), "lazy", "eager", "local" or "nocounter"
@@ -48,11 +50,14 @@ func (w MapWorkload) withDefaults() MapWorkload {
 	if w.Keys == 0 {
 		w.Keys = 65536
 	}
-	if w.GetPct == 0 && w.PutPct == 0 && w.DeletePct == 0 && w.BatchPct == 0 {
+	if w.GetPct == 0 && w.PutPct == 0 && w.DeletePct == 0 && w.BatchPct == 0 && w.ScanPct == 0 {
 		w.GetPct, w.PutPct, w.DeletePct, w.BatchPct = 90, 8, 1, 1
 	}
 	if w.BatchKeys == 0 {
 		w.BatchKeys = 2
+	}
+	if w.ScanLimit == 0 {
+		w.ScanLimit = 100
 	}
 	if w.Dist == "" {
 		w.Dist = "uniform"
@@ -158,9 +163,9 @@ func keyPicker(dist string, r *rng.State, n int) (func() int, error) {
 // RunMap executes the map workload and reports throughput.
 func RunMap(w MapWorkload) (MapResult, error) {
 	w = w.withDefaults()
-	if w.GetPct+w.PutPct+w.DeletePct+w.BatchPct != 100 {
-		return MapResult{}, fmt.Errorf("harness: op mix %d/%d/%d/%d does not sum to 100",
-			w.GetPct, w.PutPct, w.DeletePct, w.BatchPct)
+	if w.GetPct+w.PutPct+w.DeletePct+w.BatchPct+w.ScanPct != 100 {
+		return MapResult{}, fmt.Errorf("harness: op mix %d/%d/%d/%d/%d does not sum to 100",
+			w.GetPct, w.PutPct, w.DeletePct, w.BatchPct, w.ScanPct)
 	}
 	e, err := mapEngine(w.Layout, w.CC, w.Threads)
 	if err != nil {
@@ -170,6 +175,9 @@ func RunMap(w MapWorkload) (MapResult, error) {
 		return MapResult{}, err
 	}
 	var mopts []shardmap.Option
+	if w.ScanPct > 0 {
+		mopts = append(mopts, shardmap.WithOrdered())
+	}
 	if w.Shards > 0 {
 		mopts = append(mopts, shardmap.WithShards(w.Shards))
 	}
@@ -211,6 +219,8 @@ func RunMap(w MapWorkload) (MapResult, error) {
 		bkeys := make([]string, w.BatchKeys)
 		bvals := make([]shardmap.Value, w.BatchKeys)
 		bfound := make([]bool, w.BatchKeys)
+		skeys := make([]string, 0, w.ScanLimit)
+		svals := make([]shardmap.Value, 0, w.ScanLimit)
 		return func(stop *atomic.Bool) (uint64, core.Stats) {
 			var ops uint64
 			for !stop.Load() {
@@ -224,12 +234,14 @@ func RunMap(w MapWorkload) (MapResult, error) {
 						th.Put(key, word.FromUint(r.Next()>>3))
 					case p < w.GetPct+w.PutPct+w.DeletePct:
 						th.Delete(key)
-					default:
+					case p < w.GetPct+w.PutPct+w.DeletePct+w.BatchPct:
 						bkeys[0] = key
 						for i := 1; i < len(bkeys); i++ {
 							bkeys[i] = keys[pick()]
 						}
 						th.GetBatch(bkeys, bvals, bfound)
+					default:
+						skeys, svals, _ = th.Scan(key, "", w.ScanLimit, skeys[:0], svals[:0])
 					}
 					ops++
 				}

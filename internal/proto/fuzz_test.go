@@ -144,3 +144,47 @@ func FuzzWriterReader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzScanReply round-trips SCAN/ISCAN-shaped reply frames — a flat
+// array of alternating key bulks and value ints — through the writer
+// and reader, with arbitrary (including binary) keys and full-range
+// values. This is the exact encoding the server's scan commands emit
+// and the client and load generator decode.
+func FuzzScanReply(f *testing.F) {
+	f.Add([]byte("k01"), uint64(1), []byte("k02"), uint64(2))
+	f.Add([]byte(""), uint64(0), []byte("\x00binary\xff"), uint64(1)<<62-1)
+	f.Fuzz(func(t *testing.T, k1 []byte, v1 uint64, k2 []byte, v2 uint64) {
+		if len(k1) > MaxBulk || len(k2) > MaxBulk {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.Array(4)
+		w.Bulk(k1)
+		w.Uint(v1)
+		w.Bulk(k2)
+		w.Uint(v2)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rd := NewReader(bytes.NewReader(buf.Bytes()))
+		var rep Reply
+		if err := rd.ReadReply(&rep); err != nil || rep.Kind != KindArray || rep.Int != 4 {
+			t.Fatalf("scan header round trip: %+v %v", rep, err)
+		}
+		for i, want := range []struct {
+			key []byte
+			val uint64
+		}{{k1, v1}, {k2, v2}} {
+			if err := rd.ReadReply(&rep); err != nil || rep.Kind != KindBulk || rep.Null || !bytes.Equal(rep.Str, want.key) {
+				t.Fatalf("scan key %d round trip: %+v %v", i, rep, err)
+			}
+			if err := rd.ReadReply(&rep); err != nil || rep.Kind != KindInt || uint64(rep.Int) != want.val {
+				t.Fatalf("scan value %d round trip: %+v %v", i, rep, err)
+			}
+		}
+		if err := rd.ReadReply(&rep); err != io.EOF {
+			t.Fatalf("trailing data after scan reply: %v", err)
+		}
+	})
+}

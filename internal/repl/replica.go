@@ -421,11 +421,16 @@ func (r *Replica) fullSync(nc net.Conn, rd *proto.Reader, m *message) error {
 
 	keep := make(map[string]struct{}, 1024)
 	sr := &snapFrameReader{nc: nc, rd: rd, msg: &r.msg, timeout: r.cfg.readTimeout}
-	_, err := wal.ReadSnapshot(sr, func(k []byte, v uint64) error {
-		if err := r.th.Apply(wal.Record{Op: wal.OpPut, Key: k, Val: v}); err != nil {
+	// Apply every snapshot record — entries and index definitions alike.
+	// Only entry keys join the keep-sweep set: index definitions are
+	// idempotent metadata, not keys the sweep should preserve or delete.
+	_, err := wal.ReadSnapshotRecords(sr, func(rec wal.Record) error {
+		if err := r.th.Apply(rec); err != nil {
 			return err
 		}
-		keep[string(k)] = struct{}{}
+		if rec.Op == wal.OpPut {
+			keep[string(rec.Key)] = struct{}{}
+		}
 		return nil
 	})
 	if err != nil {

@@ -23,6 +23,10 @@ import (
 //	SWAP2 k1 k2      ShortRO2 + LockRead×2 → ShortRO2RW2 combined commit
 //	MGET k1 k2       ShortRO4 (both keys present and distinct)
 //	MGET k1..kn      one full read-only transaction
+//	SCAN s e n       ordered walk; one SingleRead per link + one
+//	                 snapshot read (or ShortRO2 fallback) per live key
+//	ISCAN ix s e n   same, over a secondary index's composite entries
+//	IDXCREATE ix k   cold path: registers + backfills a secondary index
 //	STATS, PING      no transaction
 //
 // Keys are passed to the map as zero-copy views of the read buffer
@@ -39,6 +43,9 @@ type conn struct {
 	mkeys  []string
 	mvals  []shardmap.Value
 	mfound []bool
+	// reused SCAN/ISCAN scratch
+	skeys []string
+	svals []shardmap.Value
 	// reused STATS scratch
 	stats []byte
 }
@@ -146,6 +153,12 @@ func (c *conn) execute(args [][]byte) {
 			return
 		}
 		c.mget(args)
+	case proto.CmdEq(cmd, "SCAN"):
+		c.scanCmd(args)
+	case proto.CmdEq(cmd, "ISCAN"):
+		c.iscanCmd(args)
+	case proto.CmdEq(cmd, "IDXCREATE"):
+		c.idxCreateCmd(args)
 	case proto.CmdEq(cmd, "BGSAVE"):
 		// Rotate + snapshot + prune, synchronously on this connection
 		// (pipelined peers on other connections keep executing; their
@@ -287,6 +300,88 @@ func (c *conn) mget(args [][]byte) {
 	}
 }
 
+// parseLimit decodes a SCAN/ISCAN limit argument (0 = unlimited).
+func parseLimit(b []byte) (int, bool) {
+	n, err := strconv.Atoi(bstr(b))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// scanReply encodes scan results as a flat array of alternating key
+// bulk strings and value integers (2n elements for n keys).
+func (c *conn) scanReply(keys []string, vals []shardmap.Value) {
+	c.wr.Array(2 * len(keys))
+	for i, k := range keys {
+		c.wr.BulkString(k)
+		c.wr.Uint(vals[i].Uint())
+	}
+}
+
+// scanCmd answers SCAN start end limit: every live key k with
+// start ≤ k < end (empty end = unbounded), in order, up to limit
+// (0 = all). Reads are served on replicas too. The result slices are
+// connection-scratch, so a steady-state scan allocates nothing beyond
+// what the reply encoding needs.
+func (c *conn) scanCmd(args [][]byte) {
+	if len(args) != 3 {
+		c.wr.Error("ERR wrong number of arguments for 'SCAN'")
+		return
+	}
+	limit, ok := parseLimit(args[2])
+	if !ok {
+		c.wr.Error("ERR limit is not a non-negative integer")
+		return
+	}
+	keys, vals, err := c.th.Scan(bstr(args[0]), bstr(args[1]), limit, c.skeys[:0], c.svals[:0])
+	c.skeys, c.svals = keys, vals
+	if err != nil {
+		c.wr.Error("ERR scan: " + err.Error())
+		return
+	}
+	c.scanReply(keys, vals)
+}
+
+// iscanCmd answers ISCAN index start end limit: live primary keys whose
+// index key ik satisfies start ≤ ik < end, ordered by (ik, primary key).
+func (c *conn) iscanCmd(args [][]byte) {
+	if len(args) != 4 {
+		c.wr.Error("ERR wrong number of arguments for 'ISCAN'")
+		return
+	}
+	limit, ok := parseLimit(args[3])
+	if !ok {
+		c.wr.Error("ERR limit is not a non-negative integer")
+		return
+	}
+	keys, vals, err := c.th.IndexScan(bstr(args[0]), bstr(args[1]), bstr(args[2]), limit, c.skeys[:0], c.svals[:0])
+	c.skeys, c.svals = keys, vals
+	if err != nil {
+		c.wr.Error("ERR iscan: " + err.Error())
+		return
+	}
+	c.scanReply(keys, vals)
+}
+
+// idxCreateCmd answers IDXCREATE name kind. Index definitions are
+// retained (and logged), so the arguments are cloned out of the read
+// buffer. Idempotent re-creation replies OK like the first call.
+func (c *conn) idxCreateCmd(args [][]byte) {
+	if len(args) != 2 {
+		c.wr.Error("ERR wrong number of arguments for 'IDXCREATE'")
+		return
+	}
+	if !c.writable() {
+		return
+	}
+	if err := c.th.CreateIndex(string(args[0]), string(args[1])); err != nil {
+		c.wr.Error("ERR idxcreate: " + err.Error())
+		return
+	}
+	c.wr.SimpleString("OK")
+}
+
 // statsReply reports the map's live aggregate operation counters plus
 // server-level connection counts as one bulk string of "name value"
 // lines.
@@ -323,6 +418,12 @@ func (c *conn) statsReply() {
 	appendStat("swap2_hits", st.SwapHits)
 	appendStat("mgets", st.Batches)
 	appendStat("mget_keys", st.BatchKeys)
+	appendStat("scans", st.Scans)
+	appendStat("scan_keys", st.ScanKeys)
+	appendStat("iscans", st.IScans)
+	appendStat("iscan_keys", st.IScanKeys)
+	appendStat("idx_creates", st.IdxCreates)
+	appendStat("scan_fallbacks", st.ScanFallbacks)
 	appendStat("snapshot_batches", st.SnapshotBatches)
 	appendStat("snapshot_retries", st.SnapshotRetries)
 	appendStat("snapshot_fallbacks", st.SnapshotFallbacks)

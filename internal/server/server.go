@@ -130,7 +130,9 @@ func New(opts ...Option) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	var mopts []shardmap.Option
+	// Ordered unconditionally: SCAN/ISCAN are part of the command set, and
+	// the ordered structure costs nothing until keys are inserted.
+	mopts := []shardmap.Option{shardmap.WithOrdered()}
 	if cfg.shards > 0 {
 		mopts = append(mopts, shardmap.WithShards(cfg.shards))
 	}

@@ -47,6 +47,12 @@ func (x *Thread) Apply(r wal.Record) error {
 		// epoch (the replica) intercept it before Apply; reaching here is
 		// a harmless no-op.
 		return nil
+	case wal.OpIdxCreate:
+		// CreateIndex is idempotent, so a definition delivered by both a
+		// fuzzy snapshot and the log tail (or a resumed stream) converges.
+		// The strings must be cloned: record keys alias decode buffers,
+		// and index definitions are retained.
+		return x.CreateIndex(string(r.Key), string(r.Key2))
 	default:
 		return fmt.Errorf("%w: unknown record op %d", wal.ErrCorrupt, r.Op)
 	}

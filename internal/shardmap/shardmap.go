@@ -119,6 +119,7 @@ type Option func(*config)
 type config struct {
 	shards  int
 	buckets int
+	ordered bool // maintain the ordered index (see ordered.go)
 
 	// persistence (see persist.go)
 	dir          string
@@ -150,6 +151,14 @@ type Map struct {
 
 	thrMu       sync.Mutex    // guards thrCounters
 	thrCounters []*opCounters // one slot set per attached Thread
+
+	// Ordered indexing (nil without WithOrdered; see ordered.go and
+	// secindex.go). ordered is set before the map is published; indexes
+	// is copy-on-write under idxMu, loaded once per mutation.
+	ordered *olist
+	indexes atomic.Pointer[indexSet]
+	idxMu   sync.Mutex    // serializes CreateIndex
+	olSeq   atomic.Uint64 // olist identity-tag allocator
 
 	// Durability (nil without WithPersistence; see persist.go). wal is
 	// written once before the map is published, so hot paths read it
@@ -214,6 +223,9 @@ func newMap(e *core.Engine, opts ...Option) (*Map, error) {
 		st := &tables{cur: m.newTable(nb)}
 		sh.state.Store(st)
 	}
+	if cfg.ordered {
+		m.ordered = newOlist(m, &m.olSeq)
+	}
 	if cfg.dir != "" {
 		if err := m.openPersistence(cfg); err != nil {
 			return nil, err
@@ -277,6 +289,11 @@ type Thread struct {
 
 	// snapshot-batch scratch: per-key shard states for the resize check
 	bstates []*tables
+
+	// ordered-index search scratch: per-level predecessor link and the
+	// successor value it held (olist.search)
+	ipreds [idxMaxLevel]core.Var
+	isuccs [idxMaxLevel]word.Value
 }
 
 // NewThread registers a worker with the map's engine.
@@ -403,7 +420,7 @@ func (x *Thread) Put(key string, val Value) bool {
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
 	var spare arena.Handle
-	inserted := x.putLoop(sh, h, key, val, &spare)
+	inserted, old := x.putLoop(sh, h, key, val, &spare)
 	x.t.Epoch.Exit()
 	if inserted {
 		sh.size.Add(1)
@@ -412,6 +429,7 @@ func (x *Thread) Put(key string, val Value) bool {
 		sh.a.Free(spare) // lost the insert race; never published
 	}
 	x.logPut(h, key, val)
+	x.secUpdate(key, old, !inserted, val, true)
 	count(&x.ops.puts, &x.ops.inserts, inserted)
 	return inserted
 }
@@ -427,15 +445,16 @@ func (x *Thread) Put(key string, val Value) bool {
 //spectm:noalloc
 func (x *Thread) Update(key string, val Value) bool {
 	h := x.m.hash(key)
-	ok := x.update(h, key, val)
+	ok, old := x.update(h, key, val)
 	if ok {
 		x.logPut(h, key, val)
+		x.secUpdate(key, old, true, val, true)
 	}
 	count(&x.ops.updates, &x.ops.updateHits, ok)
 	return ok
 }
 
-func (x *Thread) update(h uint64, key string, val Value) bool {
+func (x *Thread) update(h uint64, key string, val Value) (bool, Value) {
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
 	defer x.t.Epoch.Exit()
@@ -446,10 +465,10 @@ func (x *Thread) update(h uint64, key string, val Value) bool {
 			continue
 		}
 		if !found {
-			return false
+			return false, 0
 		}
-		if x.writeVal(sh, cur, val, attempt) == writeDone {
-			return true
+		if st, old := x.writeVal(sh, cur, val, attempt); st == writeDone {
+			return true, old
 		}
 	}
 }
@@ -463,24 +482,33 @@ const (
 
 // writeVal runs the combined update commit on a found node: the
 // liveness link validates read-only while the value word is locked and
-// rewritten (ShortRO1 + LockRead → ShortRO1RW1.Commit). Shared by
+// rewritten (ShortRO1 + LockRead → ShortRO1RW1.Commit). On writeDone it
+// also reports the value the commit replaced — the lock is held from
+// read to commit, so that observation is exactly the linearized
+// predecessor (secondary-index maintenance relies on it). Shared by
 // Put's update half and Update.
-func (x *Thread) writeVal(sh *shard, cur arena.Handle, val Value, attempt int) int {
+func (x *Thread) writeVal(sh *shard, cur arena.Handle, val Value, attempt int) (int, Value) {
 	n := sh.a.Get(cur)
 	ro, nv := x.t.ShortRO1(x.m.nextVar(sh, cur, n))
 	if nv.Marked() {
 		ro.Discard()
-		return writeStale
+		return writeStale, 0
 	}
-	c, _ := ro.LockRead(x.m.valVar(sh, cur, n))
+	c, old := ro.LockRead(x.m.valVar(sh, cur, n))
 	if c.Commit(val) {
-		return writeDone
+		return writeDone, old
 	}
 	x.t.Backoff(attempt)
-	return writeConflict
+	return writeConflict, 0
 }
 
-func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *arena.Handle) bool {
+// putLoop inserts or updates key, reporting (inserted, replaced value).
+// With the ordered index on, a reference on key's index entry is taken
+// before the publishing CAS — so a scan can never miss a live key — and
+// released again if the insert loses to a concurrent writer and
+// degrades into an update.
+func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *arena.Handle) (bool, Value) {
+	added := false
 	for attempt := 1; ; attempt++ {
 		tb := x.route(sh, h)
 		prev, link, cur, found, ok := x.search(sh, tb, h, key)
@@ -488,8 +516,12 @@ func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *aren
 			continue
 		}
 		if found {
-			if x.writeVal(sh, cur, val, attempt) == writeDone {
-				return false
+			st, old := x.writeVal(sh, cur, val, attempt)
+			if st == writeDone {
+				if added {
+					x.m.ordered.drop(x, key) // insert lost; release the provisional reference
+				}
+				return false, old
 			}
 			continue
 		}
@@ -498,11 +530,15 @@ func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *aren
 			*spare, n = sh.a.Alloc()
 			n.hash, n.key = h, key
 		}
+		if x.m.ordered != nil && !added {
+			x.m.ordered.add(x, key, 0)
+			added = true
+		}
 		n := sh.a.Get(*spare)
 		n.val.Init(val)
 		n.next.Init(link)
 		if x.t.SingleCAS(prev, link, enc(*spare)) == link {
-			return true
+			return true, 0
 		}
 	}
 }
@@ -515,15 +551,19 @@ func (x *Thread) putLoop(sh *shard, h uint64, key string, val Value, spare *aren
 //spectm:noalloc
 func (x *Thread) Delete(key string) bool {
 	h := x.m.hash(key)
-	ok := x.del(h, key)
+	ok, old := x.del(h, key)
 	if ok {
 		x.logDelete(h, key)
+		x.secUpdate(key, old, true, 0, false)
 	}
 	count(&x.ops.deletes, &x.ops.deleteHits, ok)
 	return ok
 }
 
-func (x *Thread) del(h uint64, key string) bool {
+// del unlinks key, reporting its final value (for secondary-index
+// maintenance). The ordered-index reference is released after the
+// unlink commit — the index entry outlives the key, never the reverse.
+func (x *Thread) del(h uint64, key string) (bool, Value) {
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
 	defer x.t.Epoch.Exit()
@@ -534,7 +574,7 @@ func (x *Thread) del(h uint64, key string) bool {
 			continue
 		}
 		if !found {
-			return false
+			return false, 0
 		}
 		n := sh.a.Get(cur)
 		d, nv, pv := x.t.ShortRW2(x.m.nextVar(sh, cur, n), prev)
@@ -550,8 +590,17 @@ func (x *Thread) del(h uint64, key string) bool {
 		}
 		d.Commit(nv.WithMark(), nv)
 		sh.size.Add(^uint64(0))
+		var old Value
+		if x.m.ordered != nil {
+			// The unlinked node is unreachable to writers, so its value
+			// word is final; the epoch pin keeps it readable until Exit.
+			old = x.t.SingleRead(x.m.valVar(sh, cur, n))
+		}
 		x.t.Epoch.Retire(sh.a, uint64(cur))
-		return true
+		if x.m.ordered != nil {
+			x.m.ordered.drop(x, key)
+		}
+		return true, old
 	}
 }
 
@@ -567,6 +616,7 @@ func (x *Thread) CompareAndSwap(key string, old, new Value) bool {
 	ok := x.cas(h, key, old, new)
 	if ok {
 		x.logCAS(h, key, new)
+		x.secUpdate(key, old, true, new, true)
 	}
 	count(&x.ops.cas, &x.ops.casHits, ok)
 	return ok
@@ -628,6 +678,9 @@ func (x *Thread) swap2(k1, k2 string) bool {
 	x.t.Epoch.Exit()
 	if ok {
 		x.logSwap2(h1, k1, nv1, h2, k2, nv2)
+		// A swap's old values are the other key's new ones.
+		x.secUpdate(k1, nv2, true, nv1, true)
+		x.secUpdate(k2, nv1, true, nv2, true)
 	}
 	return ok
 }

@@ -28,6 +28,14 @@ type OpStats struct {
 	SnapshotBatches   uint64 // wide batches that tried the snapshot path
 	SnapshotRetries   uint64 // batch restarts with a fresh timestamp
 	SnapshotFallbacks uint64 // batches handed to the full-transaction path
+
+	// Ordered indexing (maps built with WithOrdered).
+	Scans         uint64 // Scan calls
+	ScanKeys      uint64 // keys emitted across all scans
+	IScans        uint64 // IndexScan calls
+	IScanKeys     uint64 // keys emitted across all index scans
+	IdxCreates    uint64 // CreateIndex calls that registered an index
+	ScanFallbacks uint64 // scan value reads that outran snapshot history
 }
 
 // Add accumulates o into s.
@@ -49,11 +57,18 @@ func (s *OpStats) Add(o OpStats) {
 	s.SnapshotBatches += o.SnapshotBatches
 	s.SnapshotRetries += o.SnapshotRetries
 	s.SnapshotFallbacks += o.SnapshotFallbacks
+	s.Scans += o.Scans
+	s.ScanKeys += o.ScanKeys
+	s.IScans += o.IScans
+	s.IScanKeys += o.IScanKeys
+	s.IdxCreates += o.IdxCreates
+	s.ScanFallbacks += o.ScanFallbacks
 }
 
 // Ops returns the total operation count (batches count once).
 func (s OpStats) Ops() uint64 {
-	return s.Gets + s.Puts + s.Updates + s.Deletes + s.CAS + s.Swaps + s.Batches
+	return s.Gets + s.Puts + s.Updates + s.Deletes + s.CAS + s.Swaps + s.Batches +
+		s.Scans + s.IScans
 }
 
 // opCounters is the per-thread mutable form: written only by the owning
@@ -68,6 +83,10 @@ type opCounters struct {
 	batches, batchKeys  atomic.Uint64
 
 	snapBatches, snapRetries, snapFallbacks atomic.Uint64
+
+	scans, scanKeys           atomic.Uint64
+	iscans, iscanKeys         atomic.Uint64
+	idxCreates, scanFallbacks atomic.Uint64
 }
 
 // reset zeroes every slot (recovery replay drives the map through the
@@ -78,6 +97,8 @@ func (c *opCounters) reset() {
 		&c.deletes, &c.deleteHits, &c.cas, &c.casHits, &c.swaps, &c.swapHits,
 		&c.batches, &c.batchKeys,
 		&c.snapBatches, &c.snapRetries, &c.snapFallbacks,
+		&c.scans, &c.scanKeys, &c.iscans, &c.iscanKeys,
+		&c.idxCreates, &c.scanFallbacks,
 	} {
 		a.Store(0)
 	}
@@ -95,6 +116,12 @@ func (c *opCounters) snapshot() OpStats {
 		SnapshotBatches:   c.snapBatches.Load(),
 		SnapshotRetries:   c.snapRetries.Load(),
 		SnapshotFallbacks: c.snapFallbacks.Load(),
+		Scans:             c.scans.Load(),
+		ScanKeys:          c.scanKeys.Load(),
+		IScans:            c.iscans.Load(),
+		IScanKeys:         c.iscanKeys.Load(),
+		IdxCreates:        c.idxCreates.Load(),
+		ScanFallbacks:     c.scanFallbacks.Load(),
 	}
 }
 

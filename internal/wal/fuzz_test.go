@@ -22,6 +22,7 @@ func FuzzRecordDecode(f *testing.F) {
 	seed(Record{Op: OpCAS, Key: []byte("c"), Val: 1 << 61})
 	seed(Record{Op: OpSwap2, Key: []byte("a"), Val: 1, Key2: []byte("b"), Val2: 2})
 	seed(Record{Op: OpSwapHalf, Key: []byte("half"), Val: 9})
+	seed(Record{Op: OpIdxCreate, Key: []byte("byval"), Key2: []byte("value")})
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 32))
 
@@ -56,6 +57,7 @@ func FuzzRecordRoundTrip(f *testing.F) {
 	f.Add(byte(4), []byte("a"), uint64(1), []byte("b"), uint64(2))
 	f.Add(byte(2), []byte("del"), uint64(0), []byte(""), uint64(0))
 	f.Add(byte(5), []byte("h"), uint64(1)<<62, []byte("x"), uint64(7))
+	f.Add(byte(7), []byte("byval"), uint64(0), []byte("value"), uint64(0))
 	f.Fuzz(func(t *testing.T, op byte, k1 []byte, v1 uint64, k2 []byte, v2 uint64) {
 		in := Record{Op: op, Key: k1, Val: v1, Key2: k2, Val2: v2}
 		buf, err := EncodeRecord(nil, in)
@@ -78,8 +80,8 @@ func FuzzRecordRoundTrip(f *testing.F) {
 		if in.Op != OpDelete && out.Val != in.Val {
 			t.Fatalf("round trip value mismatch: %+v vs %+v", in, out)
 		}
-		if in.Op == OpSwap2 && (!bytes.Equal(out.Key2, in.Key2) || out.Val2 != in.Val2) {
-			t.Fatalf("swap2 second pair mismatch: %+v vs %+v", in, out)
+		if (in.Op == OpSwap2 || in.Op == OpIdxCreate) && (!bytes.Equal(out.Key2, in.Key2) || out.Val2 != in.Val2) {
+			t.Fatalf("second pair mismatch: %+v vs %+v", in, out)
 		}
 	})
 }
@@ -92,6 +94,7 @@ func FuzzRecordRoundTrip(f *testing.F) {
 func FuzzSnapshot(f *testing.F) {
 	var good bytes.Buffer
 	sw := NewSnapshotWriter(&good, 1)
+	sw.Index("byval", "value")
 	sw.Entry("alpha", 1)
 	sw.Entry("beta", 2)
 	if err := sw.Close(); err != nil {
@@ -102,17 +105,20 @@ func FuzzSnapshot(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0x01}, 64))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		entries := 0
-		_, err := ReadSnapshot(bytes.NewReader(data), func(k []byte, v uint64) error {
-			if len(k) > MaxKey {
-				t.Fatalf("oversized key %d escaped validation", len(k))
+		records := 0
+		_, err := ReadSnapshotRecords(bytes.NewReader(data), func(r Record) error {
+			if len(r.Key) > MaxKey || len(r.Key2) > MaxKey {
+				t.Fatalf("oversized key %d/%d escaped validation", len(r.Key), len(r.Key2))
 			}
-			entries++
+			if r.Op != OpPut && r.Op != OpIdxCreate {
+				t.Fatalf("snapshot reader delivered op %d", r.Op)
+			}
+			records++
 			return nil
 		})
 		if err == nil && !bytes.HasPrefix(data, snapMagic[:]) {
 			t.Fatal("accepted a snapshot without the magic prefix")
 		}
-		_ = entries
+		_ = records
 	})
 }

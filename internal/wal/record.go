@@ -27,6 +27,7 @@
 //	OpDelete                   klen | key
 //	OpSwap2                    k1len | k1 | v1 | k2len | k2 | v2
 //	OpEpoch                    klen=0 | epoch
+//	OpIdxCreate                nlen | name | 0 | klen | kind | 0
 //
 // A decoder that hits a short frame, a CRC mismatch, an unknown op or
 // trailing garbage stops: everything before the bad frame is the
@@ -53,6 +54,11 @@ const (
 	// the new epoch, Key is empty. It is log metadata, not a mutation —
 	// recovery and replication track it but never hand it to the map.
 	OpEpoch = byte(6)
+	// OpIdxCreate records a secondary-index definition: Key holds the
+	// index name, Key2 the extractor kind. Index entries themselves are
+	// never logged — replay recreates the definition and the map's
+	// Put/Delete applies rebuild the entries incrementally.
+	OpIdxCreate = byte(7)
 )
 
 // Framing limits.
@@ -93,7 +99,7 @@ func appendBody[S byteseq](dst []byte, op byte, k1 S, v1 uint64, k2 S, v2 uint64
 	dst = append(dst, k1...)
 	switch op {
 	case OpDelete:
-	case OpSwap2:
+	case OpSwap2, OpIdxCreate:
 		dst = binary.AppendUvarint(dst, v1)
 		dst = binary.AppendUvarint(dst, uint64(len(k2)))
 		dst = append(dst, k2...)
@@ -122,7 +128,7 @@ func appendRecord[S byteseq](dst []byte, op byte, k1 S, v1 uint64, k2 S, v2 uint
 // map's hot path uses the typed Log methods instead.
 func EncodeRecord(dst []byte, r Record) ([]byte, error) {
 	switch r.Op {
-	case OpPut, OpDelete, OpCAS, OpSwap2, OpSwapHalf, OpEpoch:
+	case OpPut, OpDelete, OpCAS, OpSwap2, OpSwapHalf, OpEpoch, OpIdxCreate:
 	default:
 		return nil, fmt.Errorf("%w: unknown op %d", ErrCorrupt, r.Op)
 	}
@@ -174,7 +180,7 @@ func decodeBody(body []byte) (Record, error) {
 		if r.Val, p, err = takeUvarint(p); err != nil {
 			return Record{}, err
 		}
-	case OpSwap2:
+	case OpSwap2, OpIdxCreate:
 		if r.Val, p, err = takeUvarint(p); err != nil {
 			return Record{}, err
 		}

@@ -173,15 +173,15 @@ func Replay(dir string, apply func(Record) error) (ReplayStats, error) {
 // the caller: a snapshot has no trustworthy prefix, only a trustworthy
 // whole.
 func loadSnapshot(path string, gen uint64, apply func(Record) error) (int, error) {
-	validate := func(f *os.File, sink func(k []byte, v uint64) error) (uint64, error) {
+	validate := func(f *os.File, sink func(Record) error) (uint64, error) {
 		defer f.Close()
-		return ReadSnapshot(f, sink)
+		return ReadSnapshotRecords(f, sink)
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
 	}
-	hdrGen, err := validate(f, func([]byte, uint64) error { return nil })
+	hdrGen, err := validate(f, func(Record) error { return nil })
 	if err != nil {
 		return 0, err
 	}
@@ -192,9 +192,9 @@ func loadSnapshot(path string, gen uint64, apply func(Record) error) (int, error
 		return 0, err
 	}
 	n := 0
-	if _, err := validate(f, func(k []byte, v uint64) error {
+	if _, err := validate(f, func(rec Record) error {
 		n++
-		return apply(Record{Op: OpPut, Key: k, Val: v})
+		return apply(rec)
 	}); err != nil {
 		return n, err
 	}

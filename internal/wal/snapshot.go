@@ -1,9 +1,14 @@
-// Snapshot files. A snapshot is a flat stream of key/value entries with
-// a CRC-validated trailer:
+// Snapshot files. A snapshot is a flat stream of records with a
+// CRC-validated trailer:
 //
 //	magic "SPTMSNP1" (8B) | gen (8B LE)
-//	repeated:  tag 1 (1B) | klen uvarint | key | val uvarint
-//	trailer:   tag 0 (1B) | entry count (8B LE) | crc32c (4B LE)
+//	repeated:  tag 1 (1B) | klen uvarint | key | val uvarint     (entry)
+//	       or  tag 2 (1B) | nlen uvarint | name | klen uvarint | kind  (index def)
+//	trailer:   tag 0 (1B) | record count (8B LE) | crc32c (4B LE)
+//
+// Index definitions are written before the entries they govern, so a
+// reader can rebuild secondary indexes incrementally while applying the
+// entry stream.
 //
 // The CRC covers every byte before it. A snapshot without a valid
 // trailer is incomplete (crashed writer) or corrupt and is never
@@ -24,6 +29,7 @@ var snapMagic = [8]byte{'S', 'P', 'T', 'M', 'S', 'N', 'P', '1'}
 
 const (
 	snapEntry = byte(1)
+	snapIndex = byte(2)
 	snapEnd   = byte(0)
 	// MaxKey bounds one snapshot key (matches the wire protocol's bulk
 	// limit with headroom).
@@ -71,6 +77,28 @@ func (sw *SnapshotWriter) Entry(key string, val uint64) {
 	sw.count++
 }
 
+// Index appends one secondary-index definition (name, extractor kind).
+// Call before the entries so readers can rebuild incrementally.
+func (sw *SnapshotWriter) Index(name, kind string) {
+	sw.tmp[0] = snapIndex
+	n := 1 + binary.PutUvarint(sw.tmp[1:], uint64(len(name)))
+	sw.write(sw.tmp[:n])
+	sw.writeString(name)
+	n = binary.PutUvarint(sw.tmp[:], uint64(len(kind)))
+	sw.write(sw.tmp[:n])
+	sw.writeString(kind)
+	sw.count++
+}
+
+// writeString is write for string payloads (no []byte conversion).
+func (sw *SnapshotWriter) writeString(s string) {
+	if sw.err != nil {
+		return
+	}
+	sw.crc = crc32.Update(sw.crc, castagnoli, []byte(s))
+	_, sw.err = sw.w.WriteString(s)
+}
+
 // Close writes the trailer and flushes. The underlying file is not
 // synced or closed; callers own that.
 func (sw *SnapshotWriter) Close() error {
@@ -87,13 +115,29 @@ func (sw *SnapshotWriter) Close() error {
 	return sw.w.Flush()
 }
 
-// ReadSnapshot streams a snapshot from r, calling apply for every entry.
+// ReadSnapshot streams a snapshot from r, calling apply for every
+// key/value entry. Index-definition records are validated but skipped —
+// use ReadSnapshotRecords to receive them. It returns the generation
+// recorded in the header. The key passed to apply aliases an internal
+// buffer valid only during the call.
+func ReadSnapshot(r io.Reader, apply func(key []byte, val uint64) error) (gen uint64, err error) {
+	return ReadSnapshotRecords(r, func(rec Record) error {
+		if rec.Op == OpPut {
+			return apply(rec.Key, rec.Val)
+		}
+		return nil
+	})
+}
+
+// ReadSnapshotRecords streams a snapshot from r, calling apply with one
+// Record per snapshot record: key/value entries arrive as OpPut records,
+// index definitions as OpIdxCreate records (Key = name, Key2 = kind).
 // It returns the generation recorded in the header. Any framing damage —
 // truncation, CRC mismatch, oversized key, wrong count — returns
 // ErrCorrupt: a snapshot is all-or-nothing, there is no trustworthy
-// prefix without the trailer. The key passed to apply aliases an
-// internal buffer valid only during the call.
-func ReadSnapshot(r io.Reader, apply func(key []byte, val uint64) error) (gen uint64, err error) {
+// prefix without the trailer. Record byte fields alias internal buffers
+// valid only during the call.
+func ReadSnapshotRecords(r io.Reader, apply func(Record) error) (gen uint64, err error) {
 	br := bufio.NewReaderSize(r, 64<<10)
 	crc := uint32(0)
 	read := func(b []byte) error {
@@ -129,7 +173,27 @@ func ReadSnapshot(r io.Reader, apply func(key []byte, val uint64) error) (gen ui
 	}
 	gen = binary.LittleEndian.Uint64(hdr[8:])
 
-	var key []byte
+	// readKey reads a length-prefixed string into buf, growing it as
+	// needed. The returned slice aliases buf.
+	var key, key2 []byte
+	readKey := func(buf []byte) ([]byte, error) {
+		klen, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if klen > MaxKey {
+			return nil, fmt.Errorf("%w: snapshot key length %d", ErrCorrupt, klen)
+		}
+		if uint64(cap(buf)) < klen {
+			buf = make([]byte, klen)
+		}
+		buf = buf[:klen]
+		if err := read(buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+
 	var count uint64
 	for {
 		var tag [1]byte
@@ -139,29 +203,30 @@ func ReadSnapshot(r io.Reader, apply func(key []byte, val uint64) error) (gen ui
 		if tag[0] == snapEnd {
 			break
 		}
-		if tag[0] != snapEntry {
+		switch tag[0] {
+		case snapEntry:
+			if key, err = readKey(key); err != nil {
+				return 0, err
+			}
+			val, err := readUvarint()
+			if err != nil {
+				return 0, err
+			}
+			if err := apply(Record{Op: OpPut, Key: key, Val: val}); err != nil {
+				return 0, err
+			}
+		case snapIndex:
+			if key, err = readKey(key); err != nil {
+				return 0, err
+			}
+			if key2, err = readKey(key2); err != nil {
+				return 0, err
+			}
+			if err := apply(Record{Op: OpIdxCreate, Key: key, Key2: key2}); err != nil {
+				return 0, err
+			}
+		default:
 			return 0, fmt.Errorf("%w: bad snapshot tag %d", ErrCorrupt, tag[0])
-		}
-		klen, err := readUvarint()
-		if err != nil {
-			return 0, err
-		}
-		if klen > MaxKey {
-			return 0, fmt.Errorf("%w: snapshot key length %d", ErrCorrupt, klen)
-		}
-		if uint64(cap(key)) < klen {
-			key = make([]byte, klen)
-		}
-		key = key[:klen]
-		if err := read(key); err != nil {
-			return 0, err
-		}
-		val, err := readUvarint()
-		if err != nil {
-			return 0, err
-		}
-		if err := apply(key, val); err != nil {
-			return 0, err
 		}
 		count++
 	}

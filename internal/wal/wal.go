@@ -338,6 +338,14 @@ func (l *Log) SwapHalf(shard int, key string, val uint64) {
 	l.append(shard, OpSwapHalf, key, val, "", 0)
 }
 
+// IdxCreate appends a secondary-index definition record (name, extractor
+// kind) to shard's log. Index creation is a cold control-plane operation:
+// callers that must not acknowledge it before it is durable follow with
+// Flush.
+func (l *Log) IdxCreate(shard int, name, kind string) {
+	l.append(shard, OpIdxCreate, name, 0, kind, 0)
+}
+
 // Epoch returns the current cluster epoch.
 func (l *Log) Epoch() uint64 { return l.epoch.Load() }
 
