@@ -191,3 +191,63 @@ func okScanAppendReuse(keys []uint64, vals []uint64, k, v uint64) ([]uint64, []u
 	vals = append(vals, v)
 	return keys, vals
 }
+
+// ---- contention-management fixtures (escalation path) ----
+
+// cmShard mirrors the per-shard ticket queue and sampler: fixed
+// counters embedded in the shard, nothing allocated per escalation.
+type cmShard struct {
+	next, owner uint64 // stand-ins for the atomic ticket counters
+	conflicts   uint64
+}
+
+// Escalation runs on the conflicted hot path: taking the shard ticket
+// must reuse the embedded counters.
+//
+//spectm:noalloc
+func okEscalate(sh *cmShard) {
+	for sh.owner != sh.next { // spin: phase-2 FIFO handoff
+	}
+	sh.next++
+}
+
+// Allocating a fresh ticket object per escalation defeats the design —
+// the queue state lives in the shard, not the heap.
+//
+//spectm:noalloc
+func badEscalateTicket(sh *cmShard) *uint64 {
+	t := new(uint64) // want "allocates in noalloc path badEscalateTicket"
+	*t = sh.next
+	return t
+}
+
+// Boxing the shard index into an any-typed diagnostics sink charges an
+// allocation to every escalation.
+//
+//spectm:noalloc
+func badEscalateTrace(idx uint32) {
+	sink(idx) // want "boxes uint32 into interface parameter in noalloc path badEscalateTrace"
+}
+
+// Formatting a conflict diagnosis on the escalation path allocates;
+// counters record, cold paths narrate.
+//
+//spectm:noalloc
+func badEscalateReport(sh *cmShard) string {
+	return fmt.Sprintf("escalated at %d conflicts", sh.conflicts) // want "call to fmt.Sprintf allocates"
+}
+
+// The sampler's window advance is explicitly cold: one winner per
+// window takes it, so whatever it costs is amortized over the window.
+//
+//spectm:noalloc
+func okSamplerWindow(sh *cmShard, ops int) {
+	if ops >= 1024 {
+		cmWindow(sh)
+	}
+}
+
+//spectm:coldpath
+func cmWindow(sh *cmShard) {
+	_ = fmt.Sprintf("window: %d conflicts", sh.conflicts)
+}

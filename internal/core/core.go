@@ -189,6 +189,16 @@ type Config struct {
 	// the global timebase; costs one predictable branch per commit when
 	// disabled and a bounded ring write per published word when enabled.
 	Snapshots bool
+
+	// Contention selects the contention-management policy applied by
+	// retry loops built over the engine (see internal/backoff): CMLinear
+	// (the default — randomized linear backoff, the paper's BaseTM),
+	// CMTwoPhase (escalate a long abort streak to per-shard FIFO
+	// serialization) or CMAdaptive (escalate per shard on the sampled
+	// conflict rate, fall back when it cools). The engine itself only
+	// carries the policy; data structures with per-shard state
+	// (internal/shardmap) consult it to arm their contention managers.
+	Contention backoff.Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -256,6 +266,9 @@ func (c Config) Validate() error {
 		if c.Clock == ClockLocal || c.CC == CCLocal {
 			return fmt.Errorf("core: Snapshots require the global timebase")
 		}
+	}
+	if c.Contention > backoff.CMAdaptive {
+		return fmt.Errorf("core: unknown contention policy %d", c.Contention)
 	}
 	return nil
 }
@@ -349,6 +362,9 @@ func NewChecked(cfg Config) (*Engine, error) {
 // SnapshotsEnabled reports whether the engine maintains the version
 // history that backs Thr.SnapshotRead.
 func (e *Engine) SnapshotsEnabled() bool { return e.snap != nil }
+
+// Contention returns the engine's contention-management policy.
+func (e *Engine) Contention() backoff.Policy { return e.cfg.Contention }
 
 // Config returns the engine's effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -444,6 +460,12 @@ type Thr struct {
 	// Stats accumulates outcome counts.
 	Stats Stats
 
+	// conflicts counts every Backoff call — one per conflicted attempt,
+	// the engine's universal abort-retry funnel. Atomic (unlike Stats)
+	// so samplers on other goroutines can read it while the thread runs;
+	// a single uncontended add on the already-slow conflict path.
+	conflicts atomic.Uint64
+
 	short shortRec
 	txn   txnRec
 }
@@ -498,8 +520,16 @@ func (t *Thr) storeEnd() {
 func (e *Engine) stableSum() uint64 { return e.local.StableSum() }
 
 // Backoff delays the caller before a retry, using the randomized linear
-// contention manager (attempt is 1-based).
-func (t *Thr) Backoff(attempt int) { backoff.Wait(t.Rng, attempt) }
+// contention manager (attempt is 1-based). Every conflicted attempt
+// funnels through here, so it also feeds the thread's conflict counter.
+func (t *Thr) Backoff(attempt int) {
+	t.conflicts.Add(1)
+	backoff.Wait(t.Rng, attempt)
+}
+
+// Conflicts returns the number of conflicted attempts (Backoff calls)
+// this thread has made. Safe to read from any goroutine.
+func (t *Thr) Conflicts() uint64 { return t.conflicts.Load() }
 
 // spinWait is a bounded busy-wait used while a lock bit is expected to
 // clear momentarily; it yields to the scheduler each round.

@@ -1,0 +1,96 @@
+// Regression tests for the reconnect loop's backoff behavior: Close
+// must interrupt the inter-session sleep immediately, and the backoff
+// reset must key off streamed progress, not wall-clock session age.
+package repl
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"spectm/internal/shardmap"
+	"spectm/internal/word"
+)
+
+// deadAddr returns an address nothing listens on: dials fail fast with
+// a refusal instead of hanging in a connect timeout.
+func deadAddr(t testing.TB) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestReplicaCloseDuringBackoff pins the Close latency while Run sits
+// in its reconnect backoff. The sleep used to be an uninterruptible
+// time.Sleep, so Close blocked for up to retryMax (seconds) after the
+// primary went away.
+func TestReplicaCloseDuringBackoff(t *testing.T) {
+	rm := shardmap.New(valEngine(t), shardmap.WithShards(2), shardmap.WithInitialBuckets(8))
+	r := NewReplica(rm, deadAddr(t), WithRetry(2*time.Second, 2*time.Second))
+	go r.Run()
+
+	// Let the first dial fail and the loop settle into its 2s backoff.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Status().State != "connecting" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	begin := time.Now()
+	r.Close()
+	if d := time.Since(begin); d > 50*time.Millisecond {
+		t.Fatalf("Close took %v during a 2s reconnect backoff; want <50ms", d)
+	}
+}
+
+// TestReplicaSessionProgressCounters pins the signal Run's backoff
+// reset keys off: relRecs/relBytes report progress of the session that
+// just ended, and only that session.
+func TestReplicaSessionProgressCounters(t *testing.T) {
+	// A session that never reaches the handshake must not inherit the
+	// previous session's progress — that would reset the backoff while
+	// the primary is down, collapsing the retry ladder to retryMin.
+	t.Run("failed-dial-clears-progress", func(t *testing.T) {
+		rm := shardmap.New(valEngine(t), shardmap.WithShards(2), shardmap.WithInitialBuckets(8))
+		r := NewReplica(rm, deadAddr(t))
+		r.relRecs, r.relBytes = 7, 512 // leftovers from a prior session
+		if err := r.session(); err == nil {
+			t.Fatal("session against a dead address succeeded")
+		}
+		if r.relRecs != 0 || r.relBytes != 0 {
+			t.Fatalf("failed dial kept progress counters (%d recs, %d bytes); want 0",
+				r.relRecs, r.relBytes)
+		}
+	})
+
+	// A session that streamed records reports them, so Run resets the
+	// backoff after a genuinely working link breaks.
+	t.Run("streaming-records-progress", func(t *testing.T) {
+		p := newPrimary(t, t.TempDir(), []shardmap.Option{shardmap.WithShards(2)})
+		p.th.Put("key", word.FromUint(0))
+		rm := shardmap.New(valEngine(t), shardmap.WithShards(2), shardmap.WithInitialBuckets(8))
+		r := NewReplica(rm, p.addr)
+		errc := make(chan error, 1)
+		go func() { errc <- r.session() }()
+		waitCaughtUp(t, p, r) // bootstrap (snapshot) done
+		// These land after the handshake, so they arrive via the stream —
+		// the only path that counts as session progress.
+		for i := uint64(1); i < 16; i++ {
+			p.th.Put("key", word.FromUint(i))
+		}
+		waitCaughtUp(t, p, r)
+		p.stop(t) // break the link; session returns
+		if err := <-errc; err == nil {
+			t.Fatal("session returned nil without Close")
+		}
+		// The session goroutine has exited: its counters are ours to read.
+		if r.relRecs == 0 && r.relBytes == 0 {
+			t.Fatal("session streamed records but reported no progress")
+		}
+	})
+}

@@ -121,6 +121,7 @@ type Replica struct {
 	epoch     atomic.Uint64 // cluster epoch (monotonic; see adoptEpoch)
 	fullSyncs atomic.Uint64
 	done      chan struct{}
+	stop      chan struct{} // closed once by Close; interrupts the reconnect backoff
 
 	// apply-loop scratch
 	msg      message
@@ -163,7 +164,8 @@ func NewReplica(m *shardmap.Map, addr string, opts ...ReplicaOption) *Replica {
 	if th == nil {
 		th = m.NewThread()
 	}
-	r := &Replica{m: m, th: th, addr: addr, cfg: cfg, done: make(chan struct{})}
+	r := &Replica{m: m, th: th, addr: addr, cfg: cfg,
+		done: make(chan struct{}), stop: make(chan struct{})}
 	r.cond = sync.NewCond(&r.mu)
 	r.epoch.Store(cfg.epoch)
 	if l := m.Log(); l != nil {
@@ -222,14 +224,25 @@ func (r *Replica) Run() {
 		if closing {
 			break
 		}
-		start := time.Now()
 		if err := r.session(); err == nil {
 			break // closed
 		}
-		if time.Since(start) > 5*time.Second {
-			backoff = r.cfg.retryMin // the link worked for a while; reset
+		if r.relRecs > 0 || r.relBytes > 0 {
+			// The session streamed real progress before the link broke:
+			// the primary is alive and this replica was applying, so the
+			// next attempt starts from the floor again. (Wall-clock session
+			// age is the wrong signal — a link can sit in a long handshake
+			// or an idle dial-retry for seconds without ever working.)
+			backoff = r.cfg.retryMin
 		}
-		time.Sleep(backoff)
+		// Sleep interruptibly: Close must not wait out a multi-second
+		// backoff before Run notices the closing flag.
+		t := time.NewTimer(backoff)
+		select {
+		case <-r.stop:
+			t.Stop()
+		case <-t.C:
+		}
 		if backoff *= 2; backoff > r.cfg.retryMax {
 			backoff = r.cfg.retryMax
 		}
@@ -246,7 +259,10 @@ func (r *Replica) Run() {
 // checkpoint included).
 func (r *Replica) Close() error {
 	r.mu.Lock()
-	r.closing = true
+	if !r.closing {
+		r.closing = true
+		close(r.stop)
+	}
 	if r.nc != nil {
 		r.nc.Close()
 	}
@@ -262,6 +278,10 @@ var errClosed = fmt.Errorf("repl: replica closed")
 // session runs one connection: dial, handshake, apply until the link
 // breaks. It returns nil only when the replica is closing.
 func (r *Replica) session() error {
+	// Zero the per-session progress counters up front, not just after the
+	// handshake: Run reads them to decide whether THIS session made
+	// progress, and a failed dial must not inherit the previous session's.
+	r.relRecs, r.relBytes = 0, 0
 	r.state.Store(stateConnecting)
 	nc, err := net.DialTimeout("tcp", r.addr, 5*time.Second)
 	if err != nil {

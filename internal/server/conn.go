@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"strconv"
 	"strings"
 	"unsafe"
@@ -39,6 +40,8 @@ type conn struct {
 	wr *proto.Writer
 	th *shardmap.Thread
 
+	ncmds uint64 // commands served; drives the periodic affinity check
+
 	// reused MGET scratch
 	mkeys  []string
 	mvals  []shardmap.Value
@@ -72,7 +75,11 @@ func parseVal(b []byte) (word.Value, bool) {
 func (s *Server) serveConn(nc net.Conn) {
 	defer s.wg.Done()
 	defer nc.Close()
-	th, ok := s.getThread()
+	if s.cfg.pinOS {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	th, ok := s.getThread(-1)
 	if !ok {
 		s.refused.Add(1)
 		nc.Write([]byte("-ERR max connections reached\r\n"))
@@ -107,7 +114,27 @@ func (s *Server) serveConn(nc net.Conn) {
 			continue // blank inline line
 		}
 		c.execute(args)
+		if c.ncmds++; c.ncmds%affinityEvery == 0 {
+			c.maybeRelease()
+		}
 	}
+}
+
+// affinityEvery is how many commands a connection serves between
+// affinity checks: rare enough that the pool lock never shows up in a
+// profile, frequent enough to follow a shifting access pattern.
+const affinityEvery = 4096
+
+// maybeRelease re-leases the connection's thread when a parked
+// descriptor last served the shard this connection is hot on — the pool
+// pairs connections with cache-warm descriptors (see threadPool). Runs
+// between commands, so the thread is never mid-transaction.
+func (c *conn) maybeRelease() {
+	hs := c.th.HotShard()
+	if hs < 0 {
+		return
+	}
+	c.th, _ = c.s.swapThread(c.th, hs)
 }
 
 // writable refuses mutating commands on a replica and on a fenced
@@ -427,6 +454,17 @@ func (c *conn) statsReply() {
 	appendStat("snapshot_batches", st.SnapshotBatches)
 	appendStat("snapshot_retries", st.SnapshotRetries)
 	appendStat("snapshot_fallbacks", st.SnapshotFallbacks)
+	cm := s.m.CMStats()
+	b = append(b, "cm_policy "...)
+	b = append(b, cm.Policy.String()...)
+	b = append(b, '\n')
+	appendStat("shards", uint64(s.m.Shards()))
+	appendStat("conflicts", cm.Conflicts)
+	appendStat("escalations", cm.Escalations)
+	appendStat("serialized_ops", cm.Serialized)
+	appendStat("cm_hot_shards", uint64(cm.HotShards))
+	appendStat("cm_max_rate_pct", uint64(cm.MaxRate*100))
+	appendStat("affinity_swaps", s.swaps.Load())
 	appendStat("wal_bytes", uint64(s.m.LogSize()))
 	c.stats = b
 	c.wr.Bulk(b)

@@ -159,7 +159,7 @@ func TestServerReplZeroAlloc(t *testing.T) {
 	// In-process command frames against the primary, as in
 	// TestPerCommandZeroAlloc: decode → transaction → encode with
 	// reused buffers, io.Discard replies.
-	th, ok := p.getThread()
+	th, ok := p.getThread(-1)
 	if !ok {
 		t.Fatal("no thread")
 	}

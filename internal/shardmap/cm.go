@@ -1,0 +1,139 @@
+// Contention management for the map's point operations, completing
+// SwissTM's two-phase design over the engine's phase-1 randomized
+// linear backoff (backoff.Wait):
+//
+//   - Under CMLinear (the default) a conflicted attempt backs off
+//     exactly as before — cmWait degenerates to Thr.Backoff and the
+//     per-shard sampler never runs, so the default hot path carries no
+//     new shared atomics.
+//   - Under CMTwoPhase an operation that has conflicted
+//     backoff.EscalateAfter times takes its shard's ticket and retries
+//     under FIFO serialization until it completes: a hotspot degrades
+//     to ordered progress instead of livelock.
+//   - Under CMAdaptive every conflict and completion feeds the shard's
+//     EWMA conflict-rate sampler (backoff.CM); a shard latched hot
+//     serializes conflicted operations immediately and falls back to
+//     linear backoff when it cools.
+//
+// A thread holds at most one shard ticket at a time (cmHeld), so
+// cross-shard operations (Swap2) cannot deadlock the queues; ticket
+// holders keep running the normal abort/retry protocol, the ticket only
+// orders who gets to hammer the hot shard. Every path is atomics-only
+// and allocation-free.
+package shardmap
+
+import "spectm/internal/backoff"
+
+// cmWait handles one conflicted attempt of a point operation on sh:
+// phase-1 randomized linear backoff, or — past the policy's escalation
+// threshold — phase-2 FIFO serialization on the shard's ticket queue.
+//
+//spectm:noalloc
+func (x *Thread) cmWait(sh *shard, attempt int) {
+	x.ops.conflicts.Add(1)
+	p := x.m.cmPolicy
+	if p == backoff.CMLinear {
+		x.t.Backoff(attempt)
+		return
+	}
+	if x.cmHeld != nil {
+		// Already serialized: the queue behind us is waiting, so retry
+		// with the minimum backoff instead of the attempt-scaled one —
+		// but yield first, so the lock holder we conflicted with gets a
+		// processor even when the box is oversubscribed (a pure spin
+		// here burns the whole time slice against a descheduled owner).
+		// These retries also stay out of the sampler: they measure the
+		// queue draining, not new contention, and feeding them back
+		// would latch the shard hot forever.
+		backoff.Yield()
+		x.t.Backoff(1)
+		return
+	}
+	sh.cm.NoteConflict()
+	if attempt >= backoff.EscalateAfter || (p == backoff.CMAdaptive && sh.cm.Hot()) {
+		sh.cm.Acquire()
+		x.cmHeld = &sh.cm
+		x.ops.escalations.Add(1)
+		return // ticket in hand; retry immediately
+	}
+	x.t.Backoff(attempt)
+}
+
+// cmDone completes a point operation on sh: it releases the shard
+// ticket if this operation escalated, feeds the sampler's operation
+// count, and advances the thread's hot-shard tracker.
+//
+//spectm:noalloc
+func (x *Thread) cmDone(sh *shard) {
+	if x.cmHeld != nil {
+		x.cmHeld.Release()
+		x.cmHeld = nil
+		x.ops.serialized.Add(1)
+	}
+	if x.m.cmPolicy != backoff.CMLinear {
+		sh.cm.NoteOp()
+	}
+	// Boyer-Moore majority vote over shard indexes: cheap enough for
+	// every operation, and the candidate converges on the shard this
+	// thread touches most — the serving layer's affinity signal.
+	switch {
+	case x.hsCount == 0:
+		x.hsCand, x.hsCount = sh.idx, 1
+	case x.hsCand == sh.idx:
+		x.hsCount++
+	default:
+		x.hsCount--
+	}
+}
+
+// HotShard returns the shard index this thread's recent operations
+// concentrate on, or -1 while no majority candidate exists. Like the
+// Thread itself it is owner-goroutine only; the serving layer reads it
+// between requests to steer connection-to-worker affinity.
+func (x *Thread) HotShard() int {
+	if x.hsCount == 0 {
+		return -1
+	}
+	return int(x.hsCand)
+}
+
+// ResetHotShard clears the hot-shard tracker. The serving layer calls
+// it when a pooled Thread is re-leased to a new connection so the old
+// connection's access pattern does not leak into the new one's affinity.
+func (x *Thread) ResetHotShard() { x.hsCand, x.hsCount = 0, 0 }
+
+// Shards returns the map's shard count (after power-of-two rounding).
+func (m *Map) Shards() int { return len(m.shards) }
+
+// CMStats is a snapshot of the map's contention-management activity.
+type CMStats struct {
+	Policy      backoff.Policy
+	Conflicts   uint64  // conflicted point-op attempts (every policy)
+	Escalations uint64  // attempts that escalated to a shard ticket
+	Serialized  uint64  // operations completed while holding a ticket
+	HotShards   int     // shards currently latched hot (CMAdaptive)
+	MaxRate     float64 // highest per-shard EWMA conflict rate (conflicts/op)
+}
+
+// CMStats sums contention counters over every attached Thread and scans
+// the per-shard samplers. Like OpStats it is a live aggregate, not an
+// atomic snapshot.
+func (m *Map) CMStats() CMStats {
+	os := m.OpStats()
+	s := CMStats{
+		Policy:      m.cmPolicy,
+		Conflicts:   os.Conflicts,
+		Escalations: os.Escalations,
+		Serialized:  os.Serialized,
+	}
+	for i := range m.shards {
+		cm := &m.shards[i].cm
+		if cm.Hot() {
+			s.HotShards++
+		}
+		if r := cm.Rate(); r > s.MaxRate {
+			s.MaxRate = r
+		}
+	}
+	return s
+}

@@ -1,0 +1,255 @@
+package shardmap
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"spectm/internal/backoff"
+	"spectm/internal/core"
+	"spectm/internal/word"
+)
+
+// cmEngine builds an engine with the given contention policy over the
+// default layout.
+func cmEngine(p backoff.Policy) *core.Engine {
+	return core.New(core.Config{Layout: core.LayoutOrec, Contention: p})
+}
+
+// TestDefaultShardCount pins the WithShards doc contract: with no
+// option the shard count is the smallest power of two >= GOMAXPROCS,
+// at least 8.
+func TestDefaultShardCount(t *testing.T) {
+	want := runtime.GOMAXPROCS(0)
+	if want < 8 {
+		want = 8
+	}
+	want = ceilPow2(want)
+	m := New(core.New(core.Config{Layout: core.LayoutVal}))
+	if got := m.Shards(); got != want {
+		t.Fatalf("default shard count = %d, want %d (ceilPow2(max(GOMAXPROCS, 8)))", got, want)
+	}
+	if got := New(core.New(core.Config{Layout: core.LayoutVal}), WithShards(3)).Shards(); got != 4 {
+		t.Fatalf("WithShards(3) = %d shards, want 4", got)
+	}
+}
+
+// TestCMWaitEscalation drives cmWait/cmDone white-box through the
+// escalation threshold under each policy.
+func TestCMWaitEscalation(t *testing.T) {
+	t.Run("linear-never-escalates", func(t *testing.T) {
+		m := New(cmEngine(backoff.CMLinear), WithShards(2))
+		th := m.NewThread()
+		sh := &m.shards[0]
+		for a := 1; a <= 4*backoff.EscalateAfter; a++ {
+			th.cmWait(sh, a)
+		}
+		if th.cmHeld != nil {
+			t.Fatal("CMLinear took a ticket")
+		}
+		th.cmDone(sh)
+		s := m.CMStats()
+		if s.Escalations != 0 || s.Serialized != 0 {
+			t.Fatalf("CMLinear escalated: %+v", s)
+		}
+		if s.Conflicts == 0 {
+			t.Fatal("conflicts not counted under CMLinear")
+		}
+		if sh.cm.Ops() != 0 || sh.cm.Conflicts() != 0 {
+			t.Fatal("CMLinear fed the per-shard sampler")
+		}
+	})
+
+	t.Run("twophase-attempt-threshold", func(t *testing.T) {
+		m := New(cmEngine(backoff.CMTwoPhase), WithShards(2))
+		th := m.NewThread()
+		sh := &m.shards[0]
+		th.cmWait(sh, backoff.EscalateAfter-1)
+		if th.cmHeld != nil {
+			t.Fatal("escalated below the attempt threshold")
+		}
+		th.cmWait(sh, backoff.EscalateAfter)
+		if th.cmHeld != &sh.cm {
+			t.Fatal("did not escalate at the attempt threshold")
+		}
+		// Further conflicts while holding the ticket must not re-acquire.
+		th.cmWait(sh, backoff.EscalateAfter+1)
+		if got := sh.cm.Escalations(); got != 1 {
+			t.Fatalf("escalations = %d, want 1", got)
+		}
+		th.cmDone(sh)
+		if th.cmHeld != nil {
+			t.Fatal("cmDone left the ticket held")
+		}
+		s := m.CMStats()
+		if s.Escalations != 1 || s.Serialized != 1 {
+			t.Fatalf("stats after one escalated op: %+v", s)
+		}
+		// The ticket queue must be serviceable again (owner advanced).
+		sh.cm.Acquire()
+		sh.cm.Release()
+	})
+
+	t.Run("adaptive-hot-latch", func(t *testing.T) {
+		m := New(cmEngine(backoff.CMAdaptive), WithShards(2))
+		th := m.NewThread()
+		sh := &m.shards[0]
+		// Cold shard, low attempt: behaves like phase 1.
+		th.cmWait(sh, 1)
+		if th.cmHeld != nil {
+			t.Fatal("cold adaptive shard escalated on the first conflict")
+		}
+		th.cmDone(sh)
+		// Latch the shard hot by feeding the sampler conflicted windows.
+		for sh.cm.Ops() == 0 || !sh.cm.Hot() {
+			sh.cm.NoteConflict()
+			sh.cm.NoteOp()
+		}
+		th.cmWait(sh, 1)
+		if th.cmHeld != &sh.cm {
+			t.Fatal("hot adaptive shard did not serialize the first conflict")
+		}
+		th.cmDone(sh)
+		if s := m.CMStats(); s.HotShards != 1 || s.MaxRate == 0 {
+			t.Fatalf("CMStats on a hot shard: %+v", s)
+		}
+	})
+}
+
+// TestHotShardTracker pins the Boyer-Moore majority behavior and the
+// re-lease reset.
+func TestHotShardTracker(t *testing.T) {
+	m := New(core.New(core.Config{Layout: core.LayoutVal}), WithShards(4))
+	th := m.NewThread()
+	if got := th.HotShard(); got != -1 {
+		t.Fatalf("fresh thread HotShard = %d, want -1", got)
+	}
+	maj, min := &m.shards[2], &m.shards[1]
+	for i := 0; i < 8; i++ {
+		th.cmDone(maj)
+	}
+	for i := 0; i < 3; i++ {
+		th.cmDone(min)
+	}
+	if got := th.HotShard(); got != 2 {
+		t.Fatalf("HotShard = %d, want majority shard 2", got)
+	}
+	th.ResetHotShard()
+	if got := th.HotShard(); got != -1 {
+		t.Fatalf("HotShard after reset = %d, want -1", got)
+	}
+}
+
+// TestCMPolicyMatrix hammers one small hot key set from many goroutines
+// under every policy: whatever the contention manager does, the map
+// must stay linearizable (per-key final sums) and, for the escalating
+// policies, actually exercise phase 2. Subtest names are the -run
+// anchors for the cm-matrix CI legs.
+func TestCMPolicyMatrix(t *testing.T) {
+	for _, p := range []backoff.Policy{backoff.CMLinear, backoff.CMTwoPhase, backoff.CMAdaptive} {
+		t.Run(p.String(), func(t *testing.T) {
+			m := New(cmEngine(p), WithShards(2), WithInitialBuckets(4))
+			init := m.NewThread()
+			const hotKeys = 2
+			for k := 0; k < hotKeys; k++ {
+				init.Put(key(k), word.FromUint(0))
+			}
+			workers := 8
+			iters := 2000
+			if testing.Short() {
+				workers, iters = 4, 500
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := m.NewThread()
+					k := key(w % hotKeys)
+					for i := 0; i < iters; i++ {
+						// CAS-increment: retries route through cmWait.
+						for {
+							v, ok := th.Get(k)
+							if !ok {
+								t.Error("hot key vanished")
+								return
+							}
+							if th.CompareAndSwap(k, v, word.FromUint(v.Uint()+1)) {
+								break
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			var total uint64
+			for k := 0; k < hotKeys; k++ {
+				v, ok := init.Get(key(k))
+				if !ok {
+					t.Fatalf("key %d missing after the storm", k)
+				}
+				total += v.Uint()
+			}
+			if want := uint64(workers * iters); total != want {
+				t.Fatalf("lost updates: sum = %d, want %d", total, want)
+			}
+			s := m.CMStats()
+			if s.Policy != p {
+				t.Fatalf("CMStats policy = %v, want %v", s.Policy, p)
+			}
+			if p != backoff.CMLinear && s.Conflicts > 0 {
+				// Escalations only trigger past the threshold; with real
+				// contention on 2 keys they are overwhelmingly likely but
+				// not guaranteed, so only sanity-check the accounting.
+				if s.Serialized > s.Escalations {
+					t.Fatalf("serialized %d > escalations %d", s.Serialized, s.Escalations)
+				}
+			}
+		})
+	}
+}
+
+// TestZeroAllocHotPathsCM extends the zero-allocation gate across the
+// contention policies: Get, update-Put and CAS must stay 0 allocs/op
+// whichever contention manager is armed.
+func TestZeroAllocHotPathsCM(t *testing.T) {
+	for _, p := range []backoff.Policy{backoff.CMLinear, backoff.CMTwoPhase, backoff.CMAdaptive} {
+		t.Run(p.String(), func(t *testing.T) {
+			m := New(cmEngine(p), WithShards(4), WithInitialBuckets(64))
+			th := m.NewThread()
+			for i := 0; i < 128; i++ {
+				th.Put(key(i), word.FromUint(uint64(i)))
+			}
+			k17, k18 := key(17), key(18)
+			if n := testing.AllocsPerRun(200, func() {
+				if _, ok := th.Get(k17); !ok {
+					t.Fatal("lost key")
+				}
+			}); n != 0 {
+				t.Fatalf("Get under %v allocates %.1f allocs/op, want 0", p, n)
+			}
+			if n := testing.AllocsPerRun(200, func() {
+				if th.Put(k17, word.FromUint(99)) {
+					t.Fatal("update turned into insert")
+				}
+			}); n != 0 {
+				t.Fatalf("Put (update) under %v allocates %.1f allocs/op, want 0", p, n)
+			}
+			if n := testing.AllocsPerRun(200, func() {
+				if !th.CompareAndSwap(k18, word.FromUint(18), word.FromUint(18)) {
+					t.Fatal("CAS missed")
+				}
+			}); n != 0 {
+				t.Fatalf("CompareAndSwap under %v allocates %.1f allocs/op, want 0", p, n)
+			}
+			// The escalated path itself must also be allocation-free.
+			sh := &m.shards[0]
+			if n := testing.AllocsPerRun(200, func() {
+				th.cmWait(sh, backoff.EscalateAfter)
+				th.cmDone(sh)
+			}); n != 0 {
+				t.Fatalf("cmWait/cmDone under %v allocates %.1f allocs/op, want 0", p, n)
+			}
+		})
+	}
+}

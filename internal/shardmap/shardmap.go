@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 
 	"spectm/internal/arena"
+	"spectm/internal/backoff"
 	"spectm/internal/core"
 	"spectm/internal/pad"
 	"spectm/internal/wal"
@@ -109,7 +110,9 @@ type shard struct {
 	size  atomic.Uint64
 	a     *arena.Arena[node]
 	idTag uint64
+	idx   uint32     // position in Map.shards (hot-shard tracking)
 	mu    sync.Mutex // serializes resizers; never taken on the hot path
+	cm    backoff.CM // conflict-rate sampler + phase-2 ticket queue (cm.go)
 	_     [pad.CacheLine]byte
 }
 
@@ -147,7 +150,8 @@ type Map struct {
 	shards    []shard
 	shardMask uint64
 	shardBits uint
-	idSeq     atomic.Uint64 // bucket identity allocator
+	idSeq     atomic.Uint64  // bucket identity allocator
+	cmPolicy  backoff.Policy // contention management for point-op retries (cm.go)
 
 	thrMu       sync.Mutex    // guards thrCounters
 	thrCounters []*opCounters // one slot set per attached Thread
@@ -213,6 +217,7 @@ func newMap(e *core.Engine, opts ...Option) (*Map, error) {
 		seed:      maphash.MakeSeed(),
 		shards:    make([]shard, ns),
 		shardMask: uint64(ns - 1),
+		cmPolicy:  e.Contention(),
 	}
 	for m.shardBits = 0; 1<<m.shardBits < ns; m.shardBits++ {
 	}
@@ -220,6 +225,7 @@ func newMap(e *core.Engine, opts ...Option) (*Map, error) {
 		sh := &m.shards[i]
 		sh.a = arena.New[node]()
 		sh.idTag = (uint64(i) + 1) << idShardShift
+		sh.idx = uint32(i)
 		st := &tables{cur: m.newTable(nb)}
 		sh.state.Store(st)
 	}
@@ -276,6 +282,13 @@ type Thread struct {
 	m   *Map
 	t   *core.Thr
 	ops opCounters
+
+	// Contention management (cm.go): the single shard ticket this thread
+	// may hold mid-operation, and the Boyer-Moore hot-shard tracker.
+	// Owner-goroutine only, like the scratch below.
+	cmHeld  *backoff.CM
+	hsCand  uint32
+	hsCount int32
 
 	// migration scratch, reused across resizes
 	mchain []arena.Handle
@@ -386,6 +399,7 @@ func (x *Thread) get(key string) (Value, bool) {
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
 	defer x.t.Epoch.Exit()
+	defer x.cmDone(sh)
 	for attempt := 1; ; attempt++ {
 		tb := x.route(sh, h)
 		_, _, cur, found, ok := x.search(sh, tb, h, key)
@@ -398,7 +412,7 @@ func (x *Thread) get(key string) (Value, bool) {
 		n := sh.a.Get(cur)
 		d, nv, vv := x.t.ShortRO2(x.m.nextVar(sh, cur, n), x.m.valVar(sh, cur, n))
 		if !d.Valid() {
-			x.t.Backoff(attempt)
+			x.cmWait(sh, attempt)
 			continue
 		}
 		if nv.Marked() {
@@ -421,6 +435,7 @@ func (x *Thread) Put(key string, val Value) bool {
 	x.t.Epoch.Enter()
 	var spare arena.Handle
 	inserted, old := x.putLoop(sh, h, key, val, &spare)
+	x.cmDone(sh)
 	x.t.Epoch.Exit()
 	if inserted {
 		sh.size.Add(1)
@@ -458,6 +473,7 @@ func (x *Thread) update(h uint64, key string, val Value) (bool, Value) {
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
 	defer x.t.Epoch.Exit()
+	defer x.cmDone(sh)
 	for attempt := 1; ; attempt++ {
 		tb := x.route(sh, h)
 		_, _, cur, found, ok := x.search(sh, tb, h, key)
@@ -498,7 +514,7 @@ func (x *Thread) writeVal(sh *shard, cur arena.Handle, val Value, attempt int) (
 	if c.Commit(val) {
 		return writeDone, old
 	}
-	x.t.Backoff(attempt)
+	x.cmWait(sh, attempt)
 	return writeConflict, 0
 }
 
@@ -567,6 +583,7 @@ func (x *Thread) del(h uint64, key string) (bool, Value) {
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
 	defer x.t.Epoch.Exit()
+	defer x.cmDone(sh)
 	for attempt := 1; ; attempt++ {
 		tb := x.route(sh, h)
 		prev, link, cur, found, ok := x.search(sh, tb, h, key)
@@ -579,7 +596,7 @@ func (x *Thread) del(h uint64, key string) (bool, Value) {
 		n := sh.a.Get(cur)
 		d, nv, pv := x.t.ShortRW2(x.m.nextVar(sh, cur, n), prev)
 		if !d.Valid() {
-			x.t.Backoff(attempt)
+			x.cmWait(sh, attempt)
 			continue
 		}
 		if nv.Marked() || pv != link {
@@ -626,6 +643,7 @@ func (x *Thread) cas(h uint64, key string, old, new Value) bool {
 	sh := x.m.shardOf(h)
 	x.t.Epoch.Enter()
 	defer x.t.Epoch.Exit()
+	defer x.cmDone(sh)
 	for attempt := 1; ; attempt++ {
 		tb := x.route(sh, h)
 		_, _, cur, found, ok := x.search(sh, tb, h, key)
@@ -646,13 +664,13 @@ func (x *Thread) cas(h uint64, key string, old, new Value) bool {
 			if d2.Valid() {
 				return false // consistent snapshot: live node, other value
 			}
-			x.t.Backoff(attempt)
+			x.cmWait(sh, attempt)
 			continue
 		}
 		if c, up := d2.Upgrade2(); up && c.Commit(new) {
 			return true
 		}
-		x.t.Backoff(attempt)
+		x.cmWait(sh, attempt)
 	}
 }
 
@@ -675,6 +693,7 @@ func (x *Thread) swap2(k1, k2 string) bool {
 	h1, h2 := x.m.hash(k1), x.m.hash(k2)
 	x.t.Epoch.Enter()
 	nv1, nv2, ok := x.swap2Loop(h1, h2, k1, k2)
+	x.cmDone(x.m.shardOf(h1))
 	x.t.Epoch.Exit()
 	if ok {
 		x.logSwap2(h1, k1, nv1, h2, k2, nv2)
@@ -714,6 +733,8 @@ func (x *Thread) swap2Loop(h1, h2 uint64, k1, k2 string) (Value, Value, bool) {
 		if w2.Commit(v2, v1) {
 			return v2, v1, true
 		}
-		x.t.Backoff(attempt)
+		// A cross-shard op conflicts on its first key's shard: one shard
+		// keeps the thread's ticket count at most one (no queue deadlock).
+		x.cmWait(s1, attempt)
 	}
 }

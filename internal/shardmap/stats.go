@@ -36,6 +36,11 @@ type OpStats struct {
 	IScanKeys     uint64 // keys emitted across all index scans
 	IdxCreates    uint64 // CreateIndex calls that registered an index
 	ScanFallbacks uint64 // scan value reads that outran snapshot history
+
+	// Contention management (see cm.go).
+	Conflicts   uint64 // conflicted point-op attempts (every policy)
+	Escalations uint64 // attempts that escalated to a shard ticket (phase 2)
+	Serialized  uint64 // operations completed while holding a ticket
 }
 
 // Add accumulates o into s.
@@ -63,6 +68,9 @@ func (s *OpStats) Add(o OpStats) {
 	s.IScanKeys += o.IScanKeys
 	s.IdxCreates += o.IdxCreates
 	s.ScanFallbacks += o.ScanFallbacks
+	s.Conflicts += o.Conflicts
+	s.Escalations += o.Escalations
+	s.Serialized += o.Serialized
 }
 
 // Ops returns the total operation count (batches count once).
@@ -87,6 +95,8 @@ type opCounters struct {
 	scans, scanKeys           atomic.Uint64
 	iscans, iscanKeys         atomic.Uint64
 	idxCreates, scanFallbacks atomic.Uint64
+
+	conflicts, escalations, serialized atomic.Uint64
 }
 
 // reset zeroes every slot (recovery replay drives the map through the
@@ -99,6 +109,7 @@ func (c *opCounters) reset() {
 		&c.snapBatches, &c.snapRetries, &c.snapFallbacks,
 		&c.scans, &c.scanKeys, &c.iscans, &c.iscanKeys,
 		&c.idxCreates, &c.scanFallbacks,
+		&c.conflicts, &c.escalations, &c.serialized,
 	} {
 		a.Store(0)
 	}
@@ -122,6 +133,9 @@ func (c *opCounters) snapshot() OpStats {
 		IScanKeys:         c.iscanKeys.Load(),
 		IdxCreates:        c.idxCreates.Load(),
 		ScanFallbacks:     c.scanFallbacks.Load(),
+		Conflicts:         c.conflicts.Load(),
+		Escalations:       c.escalations.Load(),
+		Serialized:        c.serialized.Load(),
 	}
 }
 

@@ -46,6 +46,28 @@ func WithCC(cc CC) Option {
 	return func(c *core.Config) { c.CC = cc }
 }
 
+// WithContention selects the contention-management policy — how retry
+// loops over the engine respond to a conflict:
+//
+//	CMLinear    randomized linear backoff on every conflict (the
+//	            default — the paper's BaseTM, phase 1 of SwissTM's
+//	            two-phase manager)
+//	CMTwoPhase  the full two-phase design: past an attempt threshold a
+//	            long abort streak escalates to FIFO serialization on
+//	            the conflicted shard's ticket queue, so a hotspot
+//	            degrades to ordered progress instead of livelock
+//	CMAdaptive  per-shard switching: a shard whose sampled EWMA
+//	            conflict rate crosses the hot threshold serializes
+//	            conflicted operations immediately, and falls back to
+//	            linear backoff when it cools
+//
+// The policy mirrors the WithCC pattern: it is fixed at construction
+// and consulted by shard-structured data types (spectm.Map) that carry
+// per-shard contention state.
+func WithContention(p Contention) Option {
+	return func(c *core.Config) { c.Contention = p }
+}
+
 // WithSnapshots enables multi-version snapshot reads (Thr.SnapshotRead):
 // every commit records the value it overwrites into a bounded history
 // ring, letting wide read-only batches run at one timestamp with zero
